@@ -1,0 +1,81 @@
+"""Figure 9: runtime-coverage of PMRace on P-CLHT, tier ablations.
+
+A single-worker PMRace run against P-CLHT with (a) all three exploration
+tiers, (b) without the interleaving tier ("w/o IE"), and (c) without the
+seed tier ("w/o SE"). Expected shape: both ablations end with less branch
+and/or PM-alias coverage than the full configuration — "all three
+exploration tiers are important to PMRace".
+"""
+
+import pytest
+
+from repro.core import PMRace, PMRaceConfig
+from repro.core.results import render_table
+from repro.targets import PclhtTarget
+
+from conftest import emit
+
+CAMPAIGNS = 60
+SEED = 7
+
+
+def run_variant(name, **flags):
+    config = PMRaceConfig(max_campaigns=CAMPAIGNS, max_seeds=20,
+                          base_seed=SEED, snapshot_images=False,
+                          validate=False, **flags)
+    result = PMRace(PclhtTarget(), config).run()
+    return name, result
+
+
+def test_figure9_exploration_tiers(benchmark):
+    def run_all():
+        return [
+            run_variant("PMRace"),
+            run_variant("PMRace w/o IE", enable_interleaving_tier=False),
+            run_variant("PMRace w/o SE", enable_seed_tier=False),
+        ]
+
+    variants = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = []
+    series_lines = []
+    for name, result in variants:
+        timeline = result.coverage_timeline
+        rows.append({
+            "scheme": name,
+            "campaigns": result.campaigns,
+            "branch_cov": timeline[-1][2],
+            "alias_cov": timeline[-1][3],
+            "inter_found": len(result.inter_inconsistencies),
+            "first_inter_s": "%.2f" % result.first_inter_time
+            if result.first_inter_time is not None else "-",
+        })
+        samples = timeline[:: max(1, len(timeline) // 10)]
+        series_lines.append("%s: %s" % (
+            name, " ".join("(%d,%d,%d)" % (c, b, a)
+                           for c, _t, b, a in samples)))
+    text = render_table(
+        rows, ["scheme", "campaigns", "branch_cov", "alias_cov",
+               "inter_found", "first_inter_s"],
+        title="Figure 9: coverage after %d campaigns on P-CLHT" % CAMPAIGNS)
+    text += "\n\ncoverage series (campaign, branch, alias):\n"
+    text += "\n".join(series_lines)
+    emit("figure9_exploration_tiers", text)
+
+    by_name = {name: result for name, result in variants}
+    full = by_name["PMRace"]
+    no_ie = by_name["PMRace w/o IE"]
+    no_se = by_name["PMRace w/o SE"]
+    full_cov = full.coverage_timeline[-1]
+    no_se_cov = no_se.coverage_timeline[-1]
+    # removing the seed tier visibly hurts coverage: one seed cannot
+    # cover all executions (the paper's strongest Figure 9 effect)
+    assert full_cov[2] > no_se_cov[2]
+    assert full_cov[3] > no_se_cov[3]
+    # the interleaving tier buys targeted dirty-read interleavings: the
+    # full configuration reaches its first inter-thread inconsistency at
+    # least as fast as the unguided variant and finds at least as many
+    assert len(full.inter_inconsistencies) >= \
+        len(no_ie.inter_inconsistencies)
+    if full.first_inter_time is not None and \
+            no_ie.first_inter_time is not None:
+        assert full.first_inter_time <= no_ie.first_inter_time * 1.5

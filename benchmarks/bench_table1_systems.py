@@ -1,0 +1,14 @@
+"""Table 1: the concurrent PM programs tested by PMRace."""
+
+from repro.core.results import render_table
+from repro.targets import table1_rows
+
+from conftest import emit
+
+
+def test_table1_systems(benchmark):
+    rows = benchmark.pedantic(table1_rows, rounds=1, iterations=1)
+    text = render_table(rows, ["system", "version", "scope", "concurrency"],
+                        title="Table 1: concurrent PM programs under test")
+    emit("table1_systems", text)
+    assert len(rows) == 5

@@ -1,0 +1,20 @@
+"""Table 5 (artifact): unique bugs per system, "new|total" format."""
+
+from repro.core.results import build_table5, render_table
+
+from conftest import emit, fuzz_all_targets
+
+
+def test_table5_bug_summary(benchmark):
+    results = benchmark.pedantic(fuzz_all_targets, rounds=1, iterations=1)
+    rows = build_table5(results)
+    text = render_table(
+        rows,
+        ["system", "inter", "sync", "intra", "other", "total",
+         "extra_findings"],
+        title='Table 5: unique bugs by category ("new|total")')
+    emit("table5_bug_summary", text)
+    total = rows[-1]
+    new, found = (int(part) for part in total["total"].split("|"))
+    assert found >= 11      # of the paper's 14
+    assert new >= 8         # of the paper's 10 new bugs

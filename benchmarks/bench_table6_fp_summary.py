@@ -1,0 +1,24 @@
+"""Table 6 (artifact): detected inconsistencies and filtered FPs."""
+
+from repro.core.results import build_table6, render_table
+
+from conftest import emit, fuzz_all_targets
+
+
+def test_table6_fp_summary(benchmark):
+    results = benchmark.pedantic(fuzz_all_targets, rounds=1, iterations=1)
+    rows = build_table6(results)
+    text = render_table(
+        rows,
+        ["system", "inter_cand", "inter", "sync", "fp_inter", "fp_sync",
+         "bug"],
+        title="Table 6: inconsistencies (pre-failure) and false positives "
+              "(post-failure)")
+    emit("table6_fp_summary", text)
+    by_name = {row["system"]: row for row in rows}
+    # shape: FAST-FAIR and memcached produce the most candidates
+    most = max(rows, key=lambda row: row["inter_cand"])
+    assert most["system"] in ("FAST-FAIR", "memcached-pmem")
+    # clevel reports inconsistencies but zero bugs
+    assert by_name["clevel hashing"]["bug"] == 0
+    assert by_name["clevel hashing"]["inter"] >= 1

@@ -1,0 +1,142 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Mirrors the original artifact's scripts: list the targets, fuzz one (or
+all) of them, and emit the detailed JSON reports plus the paper-style
+summary tables.
+
+Commands:
+    targets                     list the Table 1 systems
+    fuzz <target>               fuzz one target and print its bugs
+    tables                      fuzz everything and print Tables 2/3/5/6
+"""
+
+import argparse
+import sys
+
+from .core import PMRaceConfig, fuzz_parallel, fuzz_target
+from .core.results import (
+    build_table2,
+    build_table3,
+    build_table5,
+    build_table6,
+    render_table,
+)
+from .detect.reporting import dump_run_result, load_whitelist
+from .targets import make_target, table1_rows, target_names
+
+
+def _add_fuzz_options(parser):
+    parser.add_argument("--campaigns", type=int, default=80,
+                        help="campaigns per seed (default 80)")
+    parser.add_argument("--seeds", type=int, nargs="+",
+                        default=[7, 13, 42],
+                        help="base seeds, one engine session each")
+    parser.add_argument("--threads", type=int, default=4,
+                        help="simulated worker threads (default 4)")
+    parser.add_argument("--mode", choices=("pmrace", "delay", "random"),
+                        default="pmrace", help="exploration scheme")
+    parser.add_argument("--eadr", action="store_true",
+                        help="simulate an eADR platform (§6.6)")
+    parser.add_argument("--whitelist", metavar="FILE",
+                        help="extra whitelist entries (one per line)")
+    parser.add_argument("--parallel", type=int, metavar="N", default=0,
+                        help="fuzz with N worker processes (§5)")
+    parser.add_argument("--output", metavar="FILE",
+                        help="write the full JSON report here")
+
+
+def _make_config(args):
+    whitelist = load_whitelist(args.whitelist) if args.whitelist else None
+    return PMRaceConfig(mode=args.mode, n_threads=args.threads,
+                        max_campaigns=args.campaigns, max_seeds=20,
+                        whitelist=whitelist, eadr=args.eadr)
+
+
+def _fuzz_one(name, args):
+    config = _make_config(args)
+    if args.parallel:
+        return fuzz_parallel(name, config, seeds=tuple(args.seeds),
+                             processes=args.parallel)
+    return fuzz_target(make_target(name), config, seeds=tuple(args.seeds))
+
+
+def cmd_targets(_args):
+    print(render_table(table1_rows(),
+                       ["system", "version", "scope", "concurrency"],
+                       title="Targets (Table 1)"))
+    return 0
+
+
+def cmd_fuzz(args):
+    if args.target not in target_names():
+        print("unknown target %r; choose from: %s"
+              % (args.target, ", ".join(target_names())), file=sys.stderr)
+        return 2
+    result = _fuzz_one(args.target, args)
+    summary = result.summary()
+    print("%(target)s: %(campaigns)d campaigns" % summary)
+    print("  inter-thread candidates     : %(inter_candidates)d" % summary)
+    print("  confirmed inconsistencies   : %d (inter %d / intra %d)"
+          % (summary["inter"] + summary["intra"], summary["inter"],
+             summary["intra"]))
+    print("  sync inconsistencies        : %(sync)d "
+          "(%(sync_validated_fp)d benign)" % summary)
+    print("  unique bugs                 : %(bugs)d" % summary)
+    for report in result.bug_reports:
+        print()
+        print(report.format())
+    if args.output:
+        path = dump_run_result(result, args.output)
+        print("\nJSON report written to %s" % path)
+    return 0
+
+
+def cmd_tables(args):
+    results = {}
+    for name in target_names():
+        print("fuzzing %s..." % name, file=sys.stderr)
+        results[name] = _fuzz_one(name, args)
+    print(render_table(build_table2(results),
+                       ["#", "system", "type", "new", "description",
+                        "consequence", "found"],
+                       title="Table 2: unique bugs"))
+    print()
+    print(render_table(build_table3(results), title="Table 3: detection "
+                       "and false-positive filtering"))
+    print()
+    print(render_table(build_table5(results),
+                       title='Table 5: unique bugs ("new|total")'))
+    print()
+    print(render_table(build_table6(results),
+                       title="Table 6: inconsistencies and FPs"))
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PMRace reproduction: fuzz concurrent PM programs for "
+                    "crash-consistency concurrency bugs")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("targets", help="list the systems under test")
+
+    fuzz = sub.add_parser("fuzz", help="fuzz one target")
+    fuzz.add_argument("target", help="Table 1 system name, e.g. P-CLHT")
+    _add_fuzz_options(fuzz)
+
+    tables = sub.add_parser("tables", help="fuzz all targets, print tables")
+    _add_fuzz_options(tables)
+
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    handler = {"targets": cmd_targets, "fuzz": cmd_fuzz,
+               "tables": cmd_tables}[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""PMRace core: PM-aware coverage-guided fuzzing."""
+
+from .campaign import CampaignResult, run_campaign
+from .checkpoints import StateProvider, make_state_provider
+from .coverage import (
+    AliasCoverageCollector,
+    BranchCoverageCollector,
+    CoverageSet,
+)
+from .engine import HangRecord, PMRace, PMRaceConfig, RunResult, fuzz_target
+from .inputgen import AflByteMutator, OperationMutator, Seed
+from .parallel import fuzz_parallel
+from .priority import AccessProfiler, SharedAccessEntry, SharedAccessQueue
+from .results import (
+    EXPECTED_BUGS,
+    ExpectedBug,
+    build_table2,
+    build_table3,
+    build_table5,
+    build_table6,
+    expected_bugs_for,
+    match_expected,
+    render_table,
+)
+from .syncpoints import SyncPointController
+
+__all__ = [
+    "PMRace",
+    "PMRaceConfig",
+    "RunResult",
+    "fuzz_target",
+    "fuzz_parallel",
+    "HangRecord",
+    "run_campaign",
+    "CampaignResult",
+    "StateProvider",
+    "make_state_provider",
+    "CoverageSet",
+    "BranchCoverageCollector",
+    "AliasCoverageCollector",
+    "Seed",
+    "OperationMutator",
+    "AflByteMutator",
+    "AccessProfiler",
+    "SharedAccessEntry",
+    "SharedAccessQueue",
+    "SyncPointController",
+]

@@ -1,0 +1,97 @@
+"""Coverage metrics: branch (edge) coverage and PM alias pair coverage.
+
+§4.2.1 defines *PM alias pair coverage*: a PM access is identified by
+``(I, P, T)`` — instruction ID, persistency state of the data, thread ID —
+and a *PM alias pair* is two back-to-back accesses to the same address by
+different threads. Conventional branch coverage is approximated here as
+edge coverage over instrumented instruction IDs (the preceding access site
+→ the current one, per thread), which plays the same feedback role the
+AFL-style bitmap plays in the original.
+"""
+
+from ..instrument.events import Observer
+
+#: Persistency-state component of an access identity.
+STATE_CLEAN = "C"
+STATE_DIRTY = "D"
+
+
+class CoverageSet:
+    """A grow-only set with "did this add anything new?" accounting."""
+
+    def __init__(self):
+        self.items = set()
+
+    def add(self, item):
+        """Add ``item``; returns True when it was new."""
+        if item in self.items:
+            return False
+        self.items.add(item)
+        return True
+
+    def merge(self, other):
+        """Union ``other`` in; returns the number of new items."""
+        before = len(self.items)
+        self.items |= other.items if isinstance(other, CoverageSet) else other
+        return len(self.items) - before
+
+    def __len__(self):
+        return len(self.items)
+
+    def __contains__(self, item):
+        return item in self.items
+
+
+class BranchCoverageCollector(Observer):
+    """Per-campaign edge coverage over instrumented access sites."""
+
+    def __init__(self):
+        self.edges = set()
+        self._prev = {}
+
+    def _record(self, event):
+        prev = self._prev.get(event.tid)
+        if prev is not None:
+            self.edges.add((prev, event.instr_id))
+        else:
+            self.edges.add((None, event.instr_id))
+        self._prev[event.tid] = event.instr_id
+
+    on_load = _record
+    on_store = _record
+    on_flush = _record
+    on_fence = _record
+
+
+class AliasCoverageCollector(Observer):
+    """Per-campaign PM alias pair coverage (§4.2.1).
+
+    Tracks the previous access identity per word address; when the next
+    access to the same address comes from a *different thread*, the pair
+    ⟨(I₁,P₁,T₁),(I₂,P₂,T₂)⟩ is recorded. Thread IDs are normalized out of
+    the stored pair so a pair is "the same interleaving shape" regardless
+    of which worker threads happened to execute it.
+    """
+
+    def __init__(self):
+        self.pairs = set()
+        self._last = {}
+
+    def _identity(self, event):
+        if event.kind == "load":
+            state = STATE_DIRTY if event.nonpersisted else STATE_CLEAN
+        elif event.kind == "ntstore":
+            state = STATE_CLEAN
+        else:
+            state = STATE_DIRTY
+        return (event.instr_id, state, event.tid)
+
+    def _record(self, event):
+        identity = self._identity(event)
+        prev = self._last.get(event.addr)
+        if prev is not None and prev[2] != identity[2]:
+            self.pairs.add((prev[0], prev[1], identity[0], identity[1]))
+        self._last[event.addr] = identity
+
+    on_load = _record
+    on_store = _record

@@ -1,0 +1,419 @@
+"""PMRace engine: PM-aware coverage-guided fuzzing (§4).
+
+The engine drives the three exploration tiers of §4.2.3 over one target:
+
+* **Execution tier** — each interleaving choice is executed several times
+  (different scheduler seeds) before moving on.
+* **Interleaving tier** — when executions stop improving coverage, the
+  next entry from the shared-access priority queue becomes the new set of
+  sync points for the Figure-6 controller.
+* **Seed tier** — when no interleaving of the current seed improves
+  coverage, the operation mutator evolves the corpus and the priority
+  queue is reconstructed.
+
+Feedback is branch (edge) coverage plus PM alias pair coverage; every new
+unique inconsistency goes straight through post-failure validation so the
+run result carries final verdicts.
+"""
+
+import time
+
+from ..detect.dedup import group_bugs
+from ..detect.postfailure import PostFailureValidator
+from ..detect.records import Verdict
+from ..detect.whitelist import Whitelist
+from ..runtime.policies import DelayInjectionPolicy, SeededRandomPolicy
+from .campaign import run_campaign
+from .checkpoints import make_state_provider
+from .coverage import CoverageSet
+from .inputgen import OperationMutator
+from .priority import SharedAccessQueue
+
+
+class PMRaceConfig:
+    """Tunables for one fuzzing run. Defaults follow §6.1 where sensible.
+
+    Attributes:
+        mode: "pmrace" (sync-point guided), "delay" (random delay
+            injection baseline), or "random" (plain random scheduler).
+        n_threads: Worker threads per campaign (4 in the paper).
+        enable_interleaving_tier / enable_seed_tier: Figure 9 ablations.
+        coverage_feedback: "both", "branch", or "alias" — which metrics
+            count as progress (alias-coverage ablation).
+    """
+
+    def __init__(self, mode="pmrace", n_threads=4, ops_per_thread=6,
+                 max_campaigns=120, time_budget=None,
+                 execs_per_interleaving=2, max_interleavings_per_seed=8,
+                 max_seeds=40, use_checkpoints=None,
+                 enable_interleaving_tier=True, enable_seed_tier=True,
+                 taint_enabled=True, snapshot_images=True,
+                 capture_stacks=True, validate=True, probe_hangs=False,
+                 writer_waiting=150, max_steps=30_000, spin_hang_limit=400,
+                 coverage_feedback="both", base_seed=0, whitelist=None,
+                 eadr=False):
+        self.mode = mode
+        self.n_threads = n_threads
+        self.ops_per_thread = ops_per_thread
+        self.max_campaigns = max_campaigns
+        self.time_budget = time_budget
+        self.execs_per_interleaving = execs_per_interleaving
+        self.max_interleavings_per_seed = max_interleavings_per_seed
+        self.max_seeds = max_seeds
+        self.use_checkpoints = use_checkpoints
+        self.enable_interleaving_tier = enable_interleaving_tier
+        self.enable_seed_tier = enable_seed_tier
+        self.taint_enabled = taint_enabled
+        self.snapshot_images = snapshot_images
+        self.capture_stacks = capture_stacks
+        self.validate = validate
+        self.probe_hangs = probe_hangs
+        self.writer_waiting = writer_waiting
+        self.max_steps = max_steps
+        self.spin_hang_limit = spin_hang_limit
+        self.coverage_feedback = coverage_feedback
+        self.base_seed = base_seed
+        self.whitelist = whitelist
+        #: Simulate an eADR platform (persistent caches, §6.6).
+        self.eadr = eadr
+
+
+def fuzz_target(target, config=None, seeds=(7, 13)):
+    """Fuzz ``target`` once per base seed and merge the findings.
+
+    Multiple seeded sessions stand in for the paper's long wall-clock
+    fuzzing runs; results are deduplicated exactly like within one run.
+    """
+    import copy
+    merged = None
+    for seed in seeds:
+        cfg = copy.copy(config) if config is not None else PMRaceConfig()
+        cfg.base_seed = seed
+        result = PMRace(target, cfg).run()
+        if merged is None:
+            merged = result
+        else:
+            merged.merge(result)
+    return merged
+
+
+class HangRecord:
+    """A pre-failure hang not caused by sync-point stalls (e.g. a missing
+    unlock — a conventional DRAM concurrency bug, Table 2's bug 5)."""
+
+    def __init__(self, blocked, seed_id):
+        self.blocked = list(blocked)
+        self.seed_id = seed_id
+        self.kind = "hang"
+
+    def signature(self):
+        return frozenset(reason for _, reason in self.blocked
+                         if reason is not None)
+
+    def __repr__(self):
+        return "<HangRecord %s>" % (sorted(self.signature()),)
+
+
+class RunResult:
+    """Aggregated outcome of one fuzzing run on one target."""
+
+    def __init__(self, target_name, config):
+        self.target_name = target_name
+        self.config = config
+        self.campaigns = 0
+        self.duration = 0.0
+        self.candidates = []
+        self.inconsistencies = []
+        self.sync_inconsistencies = []
+        self.hangs = []
+        self.coverage_timeline = []
+        self.inter_hit_times = []
+        self.first_inter_time = None
+        self.first_candidate_time = None
+        self.op_errors = 0
+        self.annotation_count = 0
+        self.bug_reports = []
+        self._candidate_keys = set()
+        self._inconsistency_keys = set()
+        self._sync_keys = set()
+        self._hang_signatures = set()
+
+    # ------------------------------------------------------------------
+    # accounting views
+
+    @property
+    def inter_candidates(self):
+        return [c for c in self.candidates if c.cross_thread]
+
+    @property
+    def inter_inconsistencies(self):
+        return [r for r in self.inconsistencies if r.kind == "inter"]
+
+    @property
+    def intra_inconsistencies(self):
+        return [r for r in self.inconsistencies if r.kind == "intra"]
+
+    def by_verdict(self, records, verdict):
+        return [r for r in records if r.verdict is verdict]
+
+    @property
+    def executions_per_second(self):
+        if self.duration <= 0:
+            return 0.0
+        return self.campaigns / self.duration
+
+    def merge(self, other):
+        """Fold another run's findings in (multiple sessions ≈ more
+        fuzzing time); bug reports are regrouped afterwards."""
+        for candidate in other.candidates:
+            key = (candidate.read_instr, candidate.write_instr,
+                   candidate.cross_thread)
+            if key not in self._candidate_keys:
+                self._candidate_keys.add(key)
+                self.candidates.append(candidate)
+        for record in other.inconsistencies:
+            key = record.dedup_key()
+            if key not in self._inconsistency_keys:
+                self._inconsistency_keys.add(key)
+                self.inconsistencies.append(record)
+        for record in other.sync_inconsistencies:
+            key = record.dedup_key()
+            if key not in self._sync_keys:
+                self._sync_keys.add(key)
+                self.sync_inconsistencies.append(record)
+        for hang in other.hangs:
+            signature = hang.signature()
+            if signature not in self._hang_signatures:
+                self._hang_signatures.add(signature)
+                self.hangs.append(hang)
+        offset_c = self.campaigns
+        offset_t = self.duration
+        for campaign, elapsed, branch, alias in other.coverage_timeline:
+            self.coverage_timeline.append(
+                (campaign + offset_c, elapsed + offset_t, branch, alias))
+        self.inter_hit_times.extend(
+            (t + offset_t, n) for t, n in other.inter_hit_times)
+        if other.first_inter_time is not None and self.first_inter_time \
+                is None:
+            self.first_inter_time = other.first_inter_time + offset_t
+        if other.first_candidate_time is not None and \
+                self.first_candidate_time is None:
+            self.first_candidate_time = other.first_candidate_time + offset_t
+        self.campaigns += other.campaigns
+        self.duration += other.duration
+        self.op_errors += other.op_errors
+        self.annotation_count = max(self.annotation_count,
+                                    other.annotation_count)
+        self._regroup()
+        return self
+
+    def _regroup(self):
+        bug_records = [r for r in self.inconsistencies
+                       if r.verdict is Verdict.BUG]
+        bug_records += [r for r in self.sync_inconsistencies
+                        if r.verdict is Verdict.BUG]
+        self.bug_reports = group_bugs(self.target_name, bug_records)
+        from ..detect.records import BugReport
+        for hang in self.hangs:
+            self.bug_reports.append(BugReport(
+                len(self.bug_reports) + 1, self.target_name, "hang",
+                None, None,
+                "threads blocked forever on %s (missing unlock or "
+                "lost wake-up)" % sorted(hang.signature()),
+                [hang]))
+
+    def summary(self):
+        return {
+            "target": self.target_name,
+            "campaigns": self.campaigns,
+            "inter_candidates": len(self.inter_candidates),
+            "inter": len(self.inter_inconsistencies),
+            "intra": len(self.intra_inconsistencies),
+            "sync": len(self.sync_inconsistencies),
+            "inter_validated_fp": len(self.by_verdict(
+                self.inter_inconsistencies, Verdict.VALIDATED_FP)),
+            "inter_whitelisted_fp": len(self.by_verdict(
+                self.inter_inconsistencies, Verdict.WHITELISTED_FP)),
+            "sync_validated_fp": len(self.by_verdict(
+                self.sync_inconsistencies, Verdict.VALIDATED_FP)),
+            "bugs": len(self.bug_reports),
+            "hangs": len(self.hangs),
+            "annotations": self.annotation_count,
+        }
+
+
+class PMRace:
+    """The fuzzer facade: ``PMRace(target, config).run()``."""
+
+    def __init__(self, target, config=None):
+        self.target = target
+        self.config = config or PMRaceConfig()
+        self.whitelist = self.config.whitelist or Whitelist()
+        self.validator = PostFailureValidator(
+            lambda: self.target, self.whitelist,
+            probe_hangs=self.config.probe_hangs)
+
+    # ------------------------------------------------------------------
+
+    def _make_policy(self, campaign_index):
+        seed = hash((self.config.base_seed, campaign_index)) & 0xFFFFFFFF
+        if self.config.mode == "delay":
+            return DelayInjectionPolicy(seed)
+        return SeededRandomPolicy(seed)
+
+    def _progress(self, new_branch, new_alias):
+        feedback = self.config.coverage_feedback
+        if feedback == "branch":
+            return new_branch > 0
+        if feedback == "alias":
+            return new_alias > 0
+        return new_branch > 0 or new_alias > 0
+
+    # ------------------------------------------------------------------
+
+    def run(self):
+        """Execute the fuzzing loop; returns a :class:`RunResult`."""
+        cfg = self.config
+        result = RunResult(self.target.NAME, cfg)
+        provider = make_state_provider(self.target, cfg.use_checkpoints,
+                                       eadr=cfg.eadr)
+        space = self.target.operation_space()
+        import random as _random
+        mutator = OperationMutator(space, cfg.n_threads, cfg.ops_per_thread,
+                                   rng=_random.Random(cfg.base_seed))
+        priv_rng = _random.Random(cfg.base_seed + 1)
+        corpus = [mutator.populate_seed(), mutator.initial_seed()]
+        branch_cov, alias_cov = CoverageSet(), CoverageSet()
+        skips = {}
+        start = time.monotonic()
+        seed_index = 0
+        use_syncpoints = (cfg.mode == "pmrace"
+                          and cfg.enable_interleaving_tier)
+
+        def out_of_budget():
+            if result.campaigns >= cfg.max_campaigns:
+                return True
+            if cfg.time_budget is not None and \
+                    time.monotonic() - start > cfg.time_budget:
+                return True
+            return False
+
+        while seed_index < cfg.max_seeds and not out_of_budget():
+            seed = corpus[seed_index] if seed_index < len(corpus) \
+                else mutator.evolve(corpus)
+            if seed_index >= len(corpus):
+                corpus.append(seed)
+            seed_index += 1
+            # Seed tier: reconstruct the priority queue per seed.
+            queue = SharedAccessQueue()
+            seed_skips = skips.setdefault(seed.seed_id, {})
+            seed_progress = False
+            rounds = cfg.max_interleavings_per_seed if use_syncpoints else 1
+            for round_index in range(rounds + 1):
+                if out_of_budget():
+                    break
+                entry = None
+                if use_syncpoints and round_index > 0:
+                    entry = queue.fetch()
+                    if entry is None:
+                        break
+                interleaving_progress = False
+                for exec_index in range(cfg.execs_per_interleaving):
+                    if out_of_budget():
+                        break
+                    state = provider.provide()
+                    result.annotation_count = max(
+                        result.annotation_count,
+                        state.annotations.annotation_count)
+                    policy = self._make_policy(result.campaigns)
+                    campaign = run_campaign(
+                        self.target, state, seed.threads, policy,
+                        entry=entry, rng=priv_rng,
+                        initial_skips=dict(seed_skips),
+                        writer_waiting=cfg.writer_waiting,
+                        taint_enabled=cfg.taint_enabled,
+                        snapshot_images=cfg.snapshot_images,
+                        capture_stacks=cfg.capture_stacks,
+                        max_steps=cfg.max_steps,
+                        spin_hang_limit=cfg.spin_hang_limit)
+                    result.campaigns += 1
+                    elapsed = time.monotonic() - start
+                    if campaign.outcome.status == "error":
+                        raise campaign.outcome.error
+                    new_branch = branch_cov.merge(campaign.branch_edges)
+                    new_alias = alias_cov.merge(campaign.alias_pairs)
+                    result.coverage_timeline.append(
+                        (result.campaigns, elapsed, len(branch_cov),
+                         len(alias_cov)))
+                    queue.update_from(campaign.profiler)
+                    if campaign.controller is not None:
+                        for instr, skip in \
+                                campaign.controller.updated_skips.items():
+                            seed_skips[instr] = \
+                                seed_skips.get(instr, 0) + skip
+                    self._harvest(result, campaign, seed, elapsed)
+                    if self._progress(new_branch, new_alias):
+                        interleaving_progress = True
+                        seed_progress = True
+                if not interleaving_progress and round_index > 0:
+                    continue
+            if not cfg.enable_seed_tier:
+                # Seed-tier ablation: loop on the first seed only.
+                seed_index = 0
+                if out_of_budget():
+                    break
+            elif not seed_progress and seed_index >= len(corpus):
+                corpus.pop()
+        result.duration = time.monotonic() - start
+        self._finalize(result)
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _harvest(self, result, campaign, seed, elapsed):
+        checker = campaign.checker
+        result.op_errors += campaign.op_errors
+        for candidate in checker.candidates:
+            key = (candidate.read_instr, candidate.write_instr,
+                   candidate.cross_thread)
+            if key not in result._candidate_keys:
+                result._candidate_keys.add(key)
+                result.candidates.append(candidate)
+                if result.first_candidate_time is None:
+                    result.first_candidate_time = elapsed
+        inter_found = 0
+        for record in checker.inconsistencies:
+            if record.kind == "inter":
+                inter_found += 1
+            key = record.dedup_key()
+            if key in result._inconsistency_keys:
+                continue
+            result._inconsistency_keys.add(key)
+            result.inconsistencies.append(record)
+            if self.config.validate:
+                self.validator.validate(record)
+            if record.kind == "inter" and result.first_inter_time is None:
+                result.first_inter_time = elapsed
+        if inter_found:
+            result.inter_hit_times.append((elapsed, inter_found))
+        for record in checker.sync_inconsistencies:
+            key = record.dedup_key()
+            if key in result._sync_keys:
+                continue
+            result._sync_keys.add(key)
+            result.sync_inconsistencies.append(record)
+            if self.config.validate:
+                self.validator.validate(record)
+        if campaign.outcome.status == "hang":
+            hang = HangRecord(campaign.outcome.blocked, seed.seed_id)
+            signature = hang.signature()
+            sync_stall = all(reason is not None
+                             and reason.startswith("cond_wait:")
+                             for reason in signature) and signature
+            if not sync_stall and signature \
+                    and signature not in result._hang_signatures:
+                result._hang_signatures.add(signature)
+                result.hangs.append(hang)
+
+    def _finalize(self, result):
+        result._regroup()

@@ -1,0 +1,212 @@
+"""The PM input generator (§4.5): seeds and the two mutators.
+
+The *operation mutator* manipulates structured operation sequences with
+the five evolution strategies from the paper (mutation, addition,
+deletion, shuffling, merging), prioritizes similar keys to raise shared
+accesses and PM alias pairs, and falls back to populating the store with
+many inserts (which is what triggers resize paths in PM indexes). The
+*AFL-style byte mutator* is the comparison baseline: it mutates the
+serialized command text and routinely produces syntactically invalid
+commands (Table 4's "Error" column).
+"""
+
+import random
+
+
+class Seed:
+    """One fuzz input: operations distributed over worker threads.
+
+    Attributes:
+        threads: List of per-thread operation lists.
+        seed_id: Stable identity used to key sync-point skip state.
+        parent: Parent seed id (lineage, diagnostics only).
+    """
+
+    _counter = [0]
+
+    def __init__(self, threads, parent=None):
+        self.threads = [list(ops) for ops in threads]
+        Seed._counter[0] += 1
+        self.seed_id = Seed._counter[0]
+        self.parent = parent
+
+    @property
+    def op_count(self):
+        return sum(len(ops) for ops in self.threads)
+
+    def flat_ops(self):
+        return [op for ops in self.threads for op in ops]
+
+    def __repr__(self):
+        return "<Seed #%d ops=%d threads=%d>" % (
+            self.seed_id, self.op_count, len(self.threads))
+
+
+def _distribute(ops, n_threads, rng):
+    """Deal a flat op list onto threads, round-robin from a random start."""
+    threads = [[] for _ in range(n_threads)]
+    start = rng.randrange(n_threads) if n_threads else 0
+    for index, op in enumerate(ops):
+        threads[(start + index) % n_threads].append(op)
+    return threads
+
+
+class OperationMutator:
+    """PMRace's operation-level mutator.
+
+    Args:
+        space: The target's :class:`~repro.targets.base.OperationSpace`.
+        n_threads: Worker threads per campaign (4 in the paper, §6.1).
+        ops_per_thread: Initial seed size per thread.
+        rng: Seeded RNG; all generation is deterministic given it.
+    """
+
+    def __init__(self, space, n_threads=4, ops_per_thread=6, rng=None):
+        self.space = space
+        self.n_threads = n_threads
+        self.ops_per_thread = ops_per_thread
+        self.rng = rng or random.Random(0)
+
+    # ------------------------------------------------------------------
+    # seed generation
+
+    def initial_seed(self):
+        """A fresh random seed with similar-key bias across threads."""
+        anchor = self.space.random_key(self.rng)
+        threads = []
+        for _ in range(self.n_threads):
+            ops = [self.space.random_op(self.rng, near_key=anchor)
+                   for _ in range(self.ops_per_thread)]
+            threads.append(ops)
+        return Seed(threads)
+
+    def populate_seed(self, scale=3):
+        """Insert-heavy seed: triggers resizing in PM indexes (§4.5)."""
+        total = self.n_threads * self.ops_per_thread * scale
+        ops = []
+        for index in range(total):
+            op = {"op": self.space.insert_kind,
+                  "key": index % self.space.key_range}
+            if self.space.insert_kind in ("put", "insert", "set"):
+                op["value"] = self.rng.randrange(self.space.value_range)
+            ops.append(op)
+        return Seed(_distribute(ops, self.n_threads, self.rng))
+
+    # ------------------------------------------------------------------
+    # the five evolution strategies
+
+    def mutate(self, seed):
+        """Update an arbitrary parameter of a random operation."""
+        threads = [list(ops) for ops in seed.threads]
+        populated = [t for t in range(len(threads)) if threads[t]]
+        if not populated:
+            return Seed(threads, seed.seed_id)
+        tid = self.rng.choice(populated)
+        index = self.rng.randrange(len(threads[tid]))
+        threads[tid][index] = self.space.mutate_op(threads[tid][index],
+                                                   self.rng)
+        return Seed(threads, seed.seed_id)
+
+    def add(self, seed):
+        """Add an operation at an arbitrary position."""
+        threads = [list(ops) for ops in seed.threads]
+        tid = self.rng.randrange(len(threads))
+        anchor = None
+        if threads[tid]:
+            anchor = threads[tid][0].get("key")
+        op = self.space.random_op(self.rng, near_key=anchor)
+        threads[tid].insert(self.rng.randint(0, len(threads[tid])), op)
+        return Seed(threads, seed.seed_id)
+
+    def delete(self, seed):
+        """Delete an arbitrary operation."""
+        threads = [list(ops) for ops in seed.threads]
+        populated = [t for t in range(len(threads)) if threads[t]]
+        if not populated:
+            return Seed(threads, seed.seed_id)
+        tid = self.rng.choice(populated)
+        del threads[tid][self.rng.randrange(len(threads[tid]))]
+        return Seed(threads, seed.seed_id)
+
+    def shuffle(self, seed):
+        """Shuffle all operations and redistribute them to threads."""
+        ops = seed.flat_ops()
+        self.rng.shuffle(ops)
+        return Seed(_distribute(ops, len(seed.threads), self.rng),
+                    seed.seed_id)
+
+    def merge(self, seed, other):
+        """Merge two existing seeds into a new one."""
+        threads = []
+        for tid in range(max(len(seed.threads), len(other.threads))):
+            ops = []
+            if tid < len(seed.threads):
+                ops.extend(seed.threads[tid][:len(seed.threads[tid]) // 2 + 1])
+            if tid < len(other.threads):
+                ops.extend(other.threads[tid][len(other.threads[tid]) // 2:])
+            threads.append(ops)
+        return Seed(threads, seed.seed_id)
+
+    def evolve(self, corpus):
+        """One evolution step over a non-empty seed corpus."""
+        seed = self.rng.choice(corpus)
+        strategy = self.rng.random()
+        if strategy < 0.35:
+            return self.mutate(seed)
+        if strategy < 0.55:
+            return self.add(seed)
+        if strategy < 0.65:
+            return self.delete(seed)
+        if strategy < 0.85:
+            return self.shuffle(seed)
+        return self.merge(seed, self.rng.choice(corpus))
+
+
+class AflByteMutator:
+    """AFL++-style byte-level mutator over serialized command text.
+
+    This is the paper's comparison baseline for Table 4: it has no
+    knowledge of the command syntax, so a third of its outputs are
+    rejected by input parsing.
+    """
+
+    def __init__(self, space, n_threads=4, ops_per_thread=6, rng=None):
+        self.space = space
+        self.n_threads = n_threads
+        self.ops_per_thread = ops_per_thread
+        self.rng = rng or random.Random(0)
+        self.invalid_ops = 0
+
+    def initial_bytes(self):
+        seed_ops = [self.space.random_op(self.rng)
+                    for _ in range(self.n_threads * self.ops_per_thread)]
+        return self.space.serialize(seed_ops)
+
+    def mutate_bytes(self, data):
+        """Apply 1-4 random byte-level havoc mutations."""
+        buf = bytearray(data)
+        for _ in range(self.rng.randint(1, 4)):
+            if not buf:
+                buf.extend(b"a")
+            choice = self.rng.random()
+            pos = self.rng.randrange(len(buf))
+            if choice < 0.35:                       # bit flip
+                buf[pos] ^= 1 << self.rng.randrange(8)
+            elif choice < 0.6:                      # random byte
+                buf[pos] = self.rng.randrange(32, 127)
+            elif choice < 0.8:                      # insert
+                buf.insert(pos, self.rng.randrange(32, 127))
+            elif len(buf) > 1:                      # delete
+                del buf[pos]
+        return bytes(buf)
+
+    def next_seed(self, data=None):
+        """Mutate ``data`` (or a fresh base) and parse it into a Seed.
+
+        Invalid commands are dropped but counted in :attr:`invalid_ops`.
+        """
+        base = data if data is not None else self.initial_bytes()
+        mutated = self.mutate_bytes(base)
+        ops, invalid = self.space.parse(mutated)
+        self.invalid_ops += invalid
+        return Seed(_distribute(ops, self.n_threads, self.rng)), mutated

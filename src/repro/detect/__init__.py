@@ -1,0 +1,64 @@
+"""PM inconsistency checkers, post-failure validation, and bug reports."""
+
+from .checkers import InconsistencyChecker
+from .extra_checkers import (
+    FenceCounter,
+    MissingFlushRecord,
+    RedundantFlushChecker,
+    RedundantFlushRecord,
+    scan_missing_flushes,
+)
+from .reporting import (
+    dump_run_result,
+    load_run_report,
+    load_whitelist,
+    record_to_dict,
+    report_to_dict,
+    save_whitelist,
+)
+from .dedup import group_bugs, unique_key
+from .postfailure import PostFailureValidator, WriteRecorder
+from .records import (
+    BugReport,
+    CandidateRecord,
+    InconsistencyRecord,
+    SyncInconsistencyRecord,
+    Verdict,
+)
+from .state_table import (
+    PM_CLEAN,
+    PM_DIRTY,
+    PM_PENDING,
+    PersistencyStateTable,
+)
+from .whitelist import DEFAULT_WHITELIST, Whitelist
+
+__all__ = [
+    "InconsistencyChecker",
+    "RedundantFlushChecker",
+    "RedundantFlushRecord",
+    "MissingFlushRecord",
+    "scan_missing_flushes",
+    "FenceCounter",
+    "dump_run_result",
+    "load_run_report",
+    "record_to_dict",
+    "report_to_dict",
+    "save_whitelist",
+    "load_whitelist",
+    "PersistencyStateTable",
+    "PM_CLEAN",
+    "PM_DIRTY",
+    "PM_PENDING",
+    "PostFailureValidator",
+    "WriteRecorder",
+    "Whitelist",
+    "DEFAULT_WHITELIST",
+    "Verdict",
+    "CandidateRecord",
+    "InconsistencyRecord",
+    "SyncInconsistencyRecord",
+    "BugReport",
+    "group_bugs",
+    "unique_key",
+]

@@ -1,0 +1,56 @@
+"""Unique-bug grouping (§6.2).
+
+"A *unique bug* is a group of bugs of reading non-persisted data written
+by the same store instruction or inconsistencies due to the same
+synchronization variable type."
+"""
+
+from .records import BugReport, InconsistencyRecord, SyncInconsistencyRecord
+
+
+def unique_key(record):
+    """Grouping key of one bug-verdict inconsistency record."""
+    if isinstance(record, SyncInconsistencyRecord):
+        return ("sync", record.annotation_name)
+    if isinstance(record, InconsistencyRecord):
+        return (record.kind, record.candidate.write_instr)
+    raise TypeError("cannot group %r" % (record,))
+
+
+def _describe(key, records):
+    kind = key[0]
+    first = records[0]
+    if kind == "sync":
+        return ("synchronization variable %r not restored after recovery "
+                "(threads acquiring it will hang)" % key[1])
+    flows = {"address" if r.address_flow else "content" for r in records}
+    flow = "/".join(sorted(flows))
+    return ("durable side effect (%s flow) based on non-persisted data "
+            "written at %s" % (flow, first.candidate.write_instr))
+
+
+def group_bugs(target_name, records, seed=None):
+    """Group bug-verdict records into :class:`BugReport` objects."""
+    groups = {}
+    order = []
+    for record in records:
+        key = unique_key(record)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(record)
+    reports = []
+    for index, key in enumerate(order, start=1):
+        members = groups[key]
+        first = members[0]
+        if key[0] == "sync":
+            write_instr = first.instr_id
+            read_instr = None
+        else:
+            write_instr = first.candidate.write_instr
+            read_instr = first.candidate.read_instr
+        reports.append(BugReport(
+            index, target_name, key[0], write_instr, read_instr,
+            _describe(key, members), members, seed,
+        ))
+    return reports

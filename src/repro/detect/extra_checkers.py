@@ -1,0 +1,124 @@
+"""Additional PM checkers built on PMRace's framework (§4.3).
+
+The paper notes that "implementing other PM checkers is possible by using
+PMRace's framework" and sketches two: detecting *unnecessary persistency
+operations* (flushing already-clean data) and *missing flushes* (PM data
+modified but not persisted when a scope exits). Both are provided here as
+ordinary observers/scans, usable standalone or alongside the concurrency
+checkers — they also back Table 2's bug 4 ("redundant PM writes") style
+findings.
+"""
+
+from ..instrument.events import Observer
+from ..pmem.cacheline import WORD_SIZE, align_down
+
+
+class RedundantFlushRecord:
+    """A CLWB issued for a cache line with no non-persisted data."""
+
+    __slots__ = ("instr_id", "addr", "count")
+
+    def __init__(self, instr_id, addr):
+        self.instr_id = instr_id
+        self.addr = addr
+        self.count = 1
+
+    def __repr__(self):
+        return "<RedundantFlush %s addr=%#x x%d>" % (self.instr_id,
+                                                     self.addr, self.count)
+
+
+class RedundantFlushChecker(Observer):
+    """Flags flushes of clean lines — wasted persistency operations.
+
+    Performance-bug class: each redundant CLWB costs a write-back slot on
+    real hardware. Deduplicated per flush site.
+    """
+
+    def __init__(self, pool):
+        self.pool = pool
+        self.records = {}
+
+    def on_flush(self, event):
+        line_start = align_down(event.addr, 64)
+        if self.pool.memory.is_persisted(line_start,
+                                         min(64, self.pool.size - line_start)):
+            record = self.records.get(event.instr_id)
+            if record is None:
+                self.records[event.instr_id] = RedundantFlushRecord(
+                    event.instr_id, event.addr)
+            else:
+                record.count += 1
+
+    @property
+    def redundant_flushes(self):
+        return list(self.records.values())
+
+
+class MissingFlushRecord:
+    """PM words left dirty when the observed scope ended."""
+
+    __slots__ = ("instr_id", "thread_id", "addrs")
+
+    def __init__(self, instr_id, thread_id):
+        self.instr_id = instr_id
+        self.thread_id = thread_id
+        self.addrs = []
+
+    @property
+    def byte_count(self):
+        return len(self.addrs) * WORD_SIZE
+
+    def __repr__(self):
+        return "<MissingFlush %s thread=%s words=%d>" % (
+            self.instr_id, self.thread_id, len(self.addrs))
+
+
+def scan_missing_flushes(pool, ignore_instrs=()):
+    """Report every word still dirty in ``pool``, grouped by store site.
+
+    Run at the end of an execution (or any quiescent point): data written
+    by a store that was never followed by CLWB+SFENCE (or ntstore) would
+    be lost by a crash here. Sequential testing tools (AGAMOTTO, PMDebugger)
+    report exactly this class; PMRace's framework gets it from one scan of
+    the ground-truth dirty-word table.
+
+    Args:
+        ignore_instrs: Substrings of store sites to skip (e.g. scratch
+            areas that are rebuilt anyway).
+    """
+    records = {}
+    for word, store in sorted(pool.memory._dirty_words.items()):
+        instr = store.instr_id or "<unknown>"
+        if any(pattern in instr for pattern in ignore_instrs):
+            continue
+        key = (instr, store.thread_id)
+        record = records.get(key)
+        if record is None:
+            record = MissingFlushRecord(instr, store.thread_id)
+            records[key] = record
+        record.addrs.append(word)
+    return list(records.values())
+
+
+class FenceCounter(Observer):
+    """Counts persistency instructions — the raw material for the extra
+    performance analyses (flushes per op, fences per flush)."""
+
+    def __init__(self):
+        self.flushes = 0
+        self.fences = 0
+        self.stores = 0
+        self.ntstores = 0
+
+    def on_flush(self, event):
+        self.flushes += 1
+
+    def on_fence(self, event):
+        self.fences += 1
+
+    def on_store(self, event):
+        if event.kind == "ntstore":
+            self.ntstores += 1
+        else:
+            self.stores += 1

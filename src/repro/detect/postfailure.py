@@ -1,0 +1,150 @@
+"""Post-failure validation (§4.4).
+
+For each pre-failure inconsistency, PMRace duplicated the pool at the
+crash point. Validation restarts the target on the duplicate and decides:
+
+* **Inter/Intra**: if every byte of the recorded durable side effect was
+  overwritten by the recovery code, the inconsistency was fixed
+  automatically — a validated false positive. Otherwise it is a bug.
+* **Sync**: if the annotated synchronization variable holds its expected
+  initial value after recovery, it was correctly re-initialized — a
+  validated false positive. Otherwise threads would block forever on the
+  stale lock: a bug.
+
+A whitelist pass (redo-log / checksum protected reads) runs after
+validation to catch the false positives validation structurally cannot see.
+"""
+
+from ..instrument.context import InstrumentationContext
+from ..instrument.events import Observer
+from ..instrument.hooks import PmView
+from ..pmem.pool import PmemPool
+from ..runtime.policies import RoundRobinPolicy
+from ..runtime.scheduler import Scheduler
+from .records import Verdict
+from .whitelist import Whitelist
+
+
+class WriteRecorder(Observer):
+    """Records the byte ranges written during recovery."""
+
+    def __init__(self):
+        self.intervals = []
+
+    def on_store(self, event):
+        self.intervals.append((event.addr, event.addr + event.size))
+
+    def covers(self, addr, size):
+        """True iff ``[addr, addr+size)`` is fully covered by recorded writes."""
+        if size <= 0:
+            return True
+        spans = sorted(self.intervals)
+        cursor = addr
+        end = addr + size
+        for start, stop in spans:
+            if stop <= cursor:
+                continue
+            if start > cursor:
+                return False
+            cursor = max(cursor, stop)
+            if cursor >= end:
+                return True
+        return cursor >= end
+
+
+class PostFailureValidator:
+    """Replays recovery on crash images and assigns verdicts.
+
+    Args:
+        target_factory: Zero-argument callable returning a fresh target
+            object exposing ``recover(pool, view)`` (see
+            :class:`repro.targets.base.Target`).
+        whitelist: Optional :class:`~repro.detect.whitelist.Whitelist`.
+        probe_hangs: Also run the target's post-recovery probe operation
+            under a bounded scheduler to demonstrate hangs on sync bugs.
+    """
+
+    def __init__(self, target_factory, whitelist=None, probe_hangs=False):
+        self.target_factory = target_factory
+        self.whitelist = whitelist or Whitelist()
+        self.probe_hangs = probe_hangs
+
+    # ------------------------------------------------------------------
+
+    def _recover(self, record):
+        """Run recovery on the record's crash image; returns the recorder."""
+        pool = PmemPool.from_image("post-failure", record.crash_image)
+        recorder = WriteRecorder()
+        ctx = InstrumentationContext(capture_stacks=False)
+        ctx.add_observer(recorder)
+        view = PmView(pool, None, ctx)
+        target = self.target_factory()
+        target.recover(pool, view)
+        return pool, view, target, recorder
+
+    def validate(self, record):
+        """Assign and return the verdict for one inconsistency record."""
+        if record.crash_image is None:
+            record.verdict = Verdict.PENDING
+            record.note = "no crash image captured"
+            return record.verdict
+        try:
+            pool, view, target, recorder = self._recover(record)
+        except Exception as exc:  # recovery itself crashed on the image
+            record.verdict = Verdict.BUG
+            record.note = "recovery failed: %r" % (exc,)
+            return record.verdict
+        if record.kind in ("inter", "intra"):
+            if recorder.covers(record.side_effect_addr,
+                               record.side_effect_size):
+                record.verdict = Verdict.VALIDATED_FP
+                record.note = "side effect overwritten during recovery"
+            elif self.whitelist.matches(record):
+                record.verdict = Verdict.WHITELISTED_FP
+                record.note = "read protected by whitelisted mechanism"
+            else:
+                record.verdict = Verdict.BUG
+        elif record.kind == "sync":
+            recovered = pool.read_u64(record.addr) if record.size == 8 \
+                else int.from_bytes(pool.read_bytes(record.addr, record.size),
+                                    "little")
+            if recovered == record.init_val:
+                record.verdict = Verdict.VALIDATED_FP
+                record.note = "sync variable re-initialized by recovery"
+            else:
+                record.verdict = Verdict.BUG
+                record.note = "sync variable stuck at %d (expected %d)" % (
+                    recovered, record.init_val)
+                if self.probe_hangs:
+                    record.note += self._probe(record, pool, target)
+        else:
+            raise ValueError("unknown record kind %r" % record.kind)
+        return record.verdict
+
+    def _probe(self, record, pool, target):
+        """Demonstrate the hang by running one probe op post-recovery."""
+        probe = getattr(target, "post_recovery_probe", None)
+        if probe is None:
+            return ""
+        scheduler = Scheduler(RoundRobinPolicy(), max_steps=20_000,
+                              spin_hang_limit=200)
+        ctx = InstrumentationContext(capture_stacks=False)
+        view = PmView(pool, scheduler, ctx)
+        scheduler.spawn(lambda: probe(pool, view), "probe")
+        outcome = scheduler.run()
+        if outcome.status in ("hang", "budget"):
+            return "; post-recovery probe hangs"
+        return "; post-recovery probe completed"
+
+    def validate_all(self, records):
+        """Validate a batch; returns (bugs, validated_fps, whitelisted_fps)."""
+        bugs, validated, whitelisted = [], [], []
+        for record in records:
+            verdict = self.validate(record)
+            if verdict is Verdict.BUG:
+                bugs.append(record)
+            elif verdict is Verdict.VALIDATED_FP:
+                validated.append(record)
+            elif verdict is Verdict.WHITELISTED_FP:
+                whitelisted.append(record)
+        return bugs, validated, whitelisted

@@ -1,0 +1,97 @@
+"""The paper's persistency-state hash table, rebuilt from observed events.
+
+§4.3: "PMRace maintains a hash table to record the persistency states of
+PM data during runtime": stores set ``PM_DIRTY`` (``PM_CLEAN`` for
+non-temporal stores) with the writer thread recorded, flushes move regions
+to ``PM_CLEAN``. This observer reconstructs exactly that structure from
+the event stream — independently of the simulator's ground truth — and is
+what the auxiliary checkers (e.g. redundant-flush detection, §4.3's
+"unnecessary persistency operations" example) query.
+"""
+
+from ..instrument.events import Observer
+from ..pmem.cacheline import CACHE_LINE_SIZE, WORD_SIZE, align_down
+
+PM_CLEAN = "PM_CLEAN"
+PM_DIRTY = "PM_DIRTY"
+PM_PENDING = "PM_PENDING"
+
+
+class WordEntry:
+    """State of one 8-byte PM word as seen through the event stream."""
+
+    __slots__ = ("state", "writer_tid", "write_instr")
+
+    def __init__(self, state, writer_tid, write_instr):
+        self.state = state
+        self.writer_tid = writer_tid
+        self.write_instr = write_instr
+
+
+class PersistencyStateTable(Observer):
+    """Event-driven reconstruction of per-word persistency states."""
+
+    def __init__(self):
+        self._words = {}
+        self._pending_by_tid = {}
+        #: CLWBs that hit fully-clean lines — redundant flush candidates.
+        self.redundant_flushes = []
+
+    def _word_range(self, addr, size):
+        first = align_down(addr, WORD_SIZE)
+        last = align_down(addr + max(size, 1) - 1, WORD_SIZE)
+        return range(first, last + WORD_SIZE, WORD_SIZE)
+
+    # ------------------------------------------------------------------
+    # observer callbacks
+
+    def on_store(self, event):
+        state = PM_CLEAN if event.kind == "ntstore" else PM_DIRTY
+        for word in self._word_range(event.addr, event.size):
+            if state == PM_CLEAN:
+                self._words.pop(word, None)
+            else:
+                self._words[word] = WordEntry(state, event.tid, event.instr_id)
+
+    def on_flush(self, event):
+        line_start = align_down(event.addr, CACHE_LINE_SIZE)
+        dirty = False
+        for word in self._word_range(line_start, CACHE_LINE_SIZE):
+            entry = self._words.get(word)
+            if entry is not None and entry.state == PM_DIRTY:
+                entry.state = PM_PENDING
+                dirty = True
+                self._pending_by_tid.setdefault(event.tid, set()).add(word)
+        if not dirty:
+            self.redundant_flushes.append((event.instr_id, event.addr))
+
+    def on_fence(self, event):
+        pending = self._pending_by_tid.pop(event.tid, None)
+        if not pending:
+            return
+        for word in pending:
+            entry = self._words.get(word)
+            if entry is not None and entry.state == PM_PENDING:
+                del self._words[word]
+
+    # ------------------------------------------------------------------
+    # queries
+
+    def state_of(self, addr):
+        """PM_CLEAN / PM_DIRTY / PM_PENDING of the word containing addr."""
+        entry = self._words.get(align_down(addr, WORD_SIZE))
+        return entry.state if entry is not None else PM_CLEAN
+
+    def writer_of(self, addr):
+        """``(tid, instr_id)`` of the last non-persisted writer, or None."""
+        entry = self._words.get(align_down(addr, WORD_SIZE))
+        if entry is None:
+            return None
+        return entry.writer_tid, entry.write_instr
+
+    def is_clean(self, addr, size=8):
+        return all(word not in self._words
+                   for word in self._word_range(addr, size))
+
+    def dirty_word_count(self):
+        return len(self._words)

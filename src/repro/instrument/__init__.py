@@ -1,0 +1,34 @@
+"""Instrumentation layer: hooked PM access API, taint tracking, annotations."""
+
+from .annotations import AnnotationRegistry, SyncVarAnnotation
+from .callsite import call_site, stack_trace
+from .context import InstrumentationContext
+from .events import Observer, PmAccessEvent
+from .hooks import PmView
+from .taint import (
+    EMPTY,
+    TaintLabel,
+    TaintedBytes,
+    TaintedInt,
+    merge_taints,
+    taint_of,
+    with_taint,
+)
+
+__all__ = [
+    "AnnotationRegistry",
+    "SyncVarAnnotation",
+    "call_site",
+    "stack_trace",
+    "InstrumentationContext",
+    "Observer",
+    "PmAccessEvent",
+    "PmView",
+    "EMPTY",
+    "TaintLabel",
+    "TaintedInt",
+    "TaintedBytes",
+    "taint_of",
+    "with_taint",
+    "merge_taints",
+]

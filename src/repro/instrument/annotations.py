@@ -1,0 +1,76 @@
+"""Lightweight annotations for persistent synchronization variables (§5).
+
+The original tool exposes ``pm_sync_var_hint(size, init_val)`` as a Clang
+annotation on variable/field *definitions*. Here a target declares each
+synchronization-variable *type* once (name, word size, expected post-
+recovery value) and registers the PM addresses of its instances as it lays
+out structures. The checker flags stores to registered addresses and the
+post-failure validator compares the recovered value against ``init_val``.
+"""
+
+
+class SyncVarAnnotation:
+    """One annotated synchronization-variable type.
+
+    Attributes:
+        name: Type name, e.g. ``"bucket_lock"`` — the dedup unit for
+            PM Synchronization Inconsistencies ("same synchronization
+            variable type", §6.2).
+        size: Variable size in bytes.
+        init_val: Expected value after a correct recovery.
+    """
+
+    __slots__ = ("name", "size", "init_val", "addrs")
+
+    def __init__(self, name, size, init_val):
+        self.name = name
+        self.size = size
+        self.init_val = init_val
+        self.addrs = set()
+
+    def __repr__(self):
+        return "<SyncVarAnnotation %s size=%d init=%r instances=%d>" % (
+            self.name, self.size, self.init_val, len(self.addrs))
+
+
+class AnnotationRegistry:
+    """All sync-var annotations of one target program."""
+
+    def __init__(self):
+        self._types = {}
+        self._by_addr = {}
+
+    def pm_sync_var_hint(self, name, size, init_val):
+        """Declare a synchronization-variable type; idempotent by name."""
+        annotation = self._types.get(name)
+        if annotation is None:
+            annotation = SyncVarAnnotation(name, size, init_val)
+            self._types[name] = annotation
+        return annotation
+
+    def register_instance(self, name, addr):
+        """Mark ``addr`` as an instance of the annotated type ``name``."""
+        annotation = self._types[name]
+        annotation.addrs.add(addr)
+        self._by_addr[addr] = annotation
+
+    def unregister_instance(self, addr):
+        annotation = self._by_addr.pop(addr, None)
+        if annotation is not None:
+            annotation.addrs.discard(addr)
+
+    def lookup(self, addr, size):
+        """The annotation covering any address in ``[addr, addr+size)``."""
+        for offset in range(addr, addr + max(size, 1)):
+            annotation = self._by_addr.get(offset)
+            if annotation is not None:
+                return annotation
+        return None
+
+    def types(self):
+        return list(self._types.values())
+
+    @property
+    def annotation_count(self):
+        """Number of annotated types — the "Annotation" column of Table 3."""
+        return len(self._types)

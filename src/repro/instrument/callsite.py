@@ -1,0 +1,49 @@
+"""Instruction identifiers and stack traces for instrumented PM accesses.
+
+The LLVM pass in the original system assigns each instrumented instruction
+a unique integer ID. Here the "instruction" is the call site of a
+:class:`~repro.instrument.hooks.PmView` method, identified by the caller's
+``module:function:line``. Bug deduplication ("same store instruction",
+§6.2) and the whitelist ("locations of codes", §4.4) both key on these.
+"""
+
+import sys
+
+_INTERNAL_PREFIXES = (
+    "repro.instrument",
+    "repro.pmem",
+    "repro.runtime.scheduler",
+)
+
+
+def _describe(frame):
+    code = frame.f_code
+    module = frame.f_globals.get("__name__", "?")
+    return "%s:%s:%d" % (module, code.co_name, frame.f_lineno)
+
+
+def call_site(skip=2):
+    """Instruction ID of the first caller outside the instrumentation layer.
+
+    Args:
+        skip: Frames to skip before searching (the hook method itself).
+    """
+    frame = sys._getframe(skip)
+    while frame is not None:
+        module = frame.f_globals.get("__name__", "")
+        if not any(module.startswith(p) for p in _INTERNAL_PREFIXES):
+            return _describe(frame)
+        frame = frame.f_back
+    return "<unknown>"
+
+
+def stack_trace(skip=2, limit=16):
+    """Call-site list from innermost outwards, excluding instrumentation."""
+    frames = []
+    frame = sys._getframe(skip)
+    while frame is not None and len(frames) < limit:
+        module = frame.f_globals.get("__name__", "")
+        if not any(module.startswith(p) for p in _INTERNAL_PREFIXES):
+            frames.append(_describe(frame))
+        frame = frame.f_back
+    return frames

@@ -1,0 +1,95 @@
+"""Per-campaign instrumentation context: observer fan-out + shadow taint.
+
+The context is the glue between the hook layer (:mod:`hooks`) and the
+consumers: PM checkers (:mod:`repro.detect.checkers`), coverage collectors
+and the shared-access priority queue (:mod:`repro.core`), and the
+sync-point controller. It also keeps DFSan-style *shadow taint*: labels of
+values stored to PM propagate to later loads of the same words, so
+multi-hop flows (store tainted → load → store elsewhere) are tracked.
+"""
+
+from ..pmem.cacheline import WORD_SIZE, align_down
+from .taint import EMPTY
+
+
+class InstrumentationContext:
+    """State shared by all hooks of one fuzz campaign.
+
+    Args:
+        annotations: Optional :class:`~repro.instrument.annotations.
+            AnnotationRegistry` of the target.
+        taint_enabled: Disable to measure the taint ablation.
+        capture_stacks: Record stacks for candidate loads / annotated
+            stores (needed by the whitelist and bug reports).
+    """
+
+    def __init__(self, annotations=None, taint_enabled=True,
+                 capture_stacks=True):
+        self.annotations = annotations
+        self.taint_enabled = taint_enabled
+        self.capture_stacks = capture_stacks
+        self.observers = []
+        #: Sync-point controller (duck-typed: before_load / after_store).
+        self.controller = None
+        #: word offset -> frozenset of labels carried by the stored value.
+        self._shadow = {}
+
+    def add_observer(self, observer):
+        self.observers.append(observer)
+        return observer
+
+    # ------------------------------------------------------------------
+    # shadow taint
+
+    def _words(self, addr, size):
+        first = align_down(addr, WORD_SIZE)
+        last = align_down(addr + max(size, 1) - 1, WORD_SIZE)
+        return range(first, last + WORD_SIZE, WORD_SIZE)
+
+    def shadow_store(self, addr, size, labels):
+        if not self.taint_enabled:
+            return
+        for word in self._words(addr, size):
+            if labels:
+                self._shadow[word] = labels
+            else:
+                self._shadow.pop(word, None)
+
+    def shadow_load(self, addr, size):
+        if not self.taint_enabled:
+            return EMPTY
+        labels = EMPTY
+        for word in self._words(addr, size):
+            extra = self._shadow.get(word)
+            if extra:
+                labels = labels | extra
+        return labels
+
+    # ------------------------------------------------------------------
+    # dispatch
+
+    def dispatch_load(self, event):
+        """Fan a load event out; returns labels minted by the checkers."""
+        labels = EMPTY
+        for observer in self.observers:
+            minted = observer.on_load(event)
+            if minted:
+                labels = labels | minted
+        return labels
+
+    def dispatch_store(self, event):
+        for observer in self.observers:
+            observer.on_store(event)
+        if self.annotations is not None:
+            annotation = self.annotations.lookup(event.addr, event.size)
+            if annotation is not None:
+                for observer in self.observers:
+                    observer.on_annotated_store(annotation, event)
+
+    def dispatch_flush(self, event):
+        for observer in self.observers:
+            observer.on_flush(event)
+
+    def dispatch_fence(self, event):
+        for observer in self.observers:
+            observer.on_fence(event)

@@ -1,0 +1,204 @@
+"""The instrumented PM access API used by target programs.
+
+Every method of :class:`PmView` corresponds to an instruction the original
+LLVM pass hooks: loads, stores, non-temporal stores, CAS, ``CLWB``,
+``SFENCE``. Each access
+
+1. gives the sync-point controller a chance to stall the thread
+   (``cond_wait`` before loads, ``cond_signal`` after stores, §4.2.2),
+2. passes through a scheduler yield point (the preemption point),
+3. performs the access against the simulated PM,
+4. publishes a :class:`~repro.instrument.events.PmAccessEvent` so checkers
+   and coverage collectors observe it,
+5. propagates taint labels into/out of the loaded or stored value.
+"""
+
+import struct
+
+from ..pmem.cacheline import CACHE_LINE_SIZE, align_down
+from .callsite import call_site, stack_trace
+from .events import PmAccessEvent
+from .taint import EMPTY, merge_taints, taint_of, with_taint
+
+_U64 = struct.Struct("<Q")
+
+
+class PmView:
+    """Instrumented view of one PM pool for one campaign.
+
+    Args:
+        pool: The :class:`~repro.pmem.pool.PmemPool` under test.
+        scheduler: The cooperative scheduler (may be None for recovery-only
+            views; yields become no-ops).
+        ctx: The :class:`~repro.instrument.context.InstrumentationContext`.
+    """
+
+    def __init__(self, pool, scheduler, ctx):
+        self.pool = pool
+        self.scheduler = scheduler
+        self.ctx = ctx
+
+    # ------------------------------------------------------------------
+    # plumbing
+
+    def _thread(self):
+        if self.scheduler is None:
+            return None
+        return self.scheduler.current()
+
+    def _yield(self):
+        if self.scheduler is not None:
+            self.scheduler.yield_point("op")
+
+    def _stack(self, interesting):
+        if interesting and self.ctx.capture_stacks:
+            return tuple(stack_trace())
+        return ()
+
+    # ------------------------------------------------------------------
+    # loads
+
+    def _load(self, addr, size, decode):
+        addr_int = int(addr)
+        instr = call_site()
+        thread = self._thread()
+        if self.ctx.controller is not None and thread is not None:
+            self.ctx.controller.before_load(addr_int, instr, thread)
+        self._yield()
+        writers = self.pool.memory.nonpersisted_writers(addr_int, size)
+        raw = self.pool.memory.load(addr_int, size)
+        event = PmAccessEvent(
+            "load", addr_int, size, decode(raw), thread, instr,
+            self._stack(bool(writers)), writers,
+        )
+        minted = self.ctx.dispatch_load(event)
+        labels = self.ctx.shadow_load(addr_int, size)
+        if minted:
+            labels = labels | minted
+        value = decode(raw)
+        if labels and self.ctx.taint_enabled:
+            value = with_taint(value, labels)
+        return value
+
+    def load_u64(self, addr):
+        """Load a 64-bit word; returns a (possibly tainted) int."""
+        return self._load(addr, 8, lambda raw: _U64.unpack(raw)[0])
+
+    def load_bytes(self, addr, size):
+        """Load ``size`` bytes; returns (possibly tainted) bytes."""
+        return self._load(addr, size, bytes)
+
+    # ------------------------------------------------------------------
+    # stores
+
+    def _store(self, addr, size, value, encoded, ntstore):
+        addr_int = int(addr)
+        instr = call_site()
+        thread = self._thread()
+        self._yield()
+        content_taint = taint_of(value)
+        addr_taint = taint_of(addr)
+        taint = content_taint | addr_taint
+        tid = thread.tid if thread is not None else -1
+        same_value = self.pool.memory.load(addr_int, size) == encoded
+        self.pool.memory.store(addr_int, encoded, tid, instr, ntstore=ntstore)
+        self.ctx.shadow_store(addr_int, size, content_taint)
+        event = PmAccessEvent(
+            "ntstore" if ntstore else "store", addr_int, size, value,
+            thread, instr, self._stack(bool(taint)), (), taint, addr_taint,
+            same_value=same_value,
+        )
+        self.ctx.dispatch_store(event)
+        if self.ctx.controller is not None and thread is not None:
+            self.ctx.controller.after_store(addr_int, instr, thread)
+
+    def store_u64(self, addr, value):
+        """Cached 64-bit store (leaves the line dirty until flushed)."""
+        self._store(addr, 8, value, _U64.pack(int(value) & (2 ** 64 - 1)),
+                    ntstore=False)
+
+    def ntstore_u64(self, addr, value):
+        """Non-temporal 64-bit store (write-through, immediately durable)."""
+        self._store(addr, 8, value, _U64.pack(int(value) & (2 ** 64 - 1)),
+                    ntstore=True)
+
+    def store_bytes(self, addr, data):
+        self._store(addr, len(data), data, bytes(data), ntstore=False)
+
+    def ntstore_bytes(self, addr, data):
+        self._store(addr, len(data), data, bytes(data), ntstore=True)
+
+    # ------------------------------------------------------------------
+    # read-modify-write
+
+    def cas_u64(self, addr, expected, new):
+        """Atomic compare-and-swap on a PM word.
+
+        Returns ``(success, old_value)``. The load and conditional store
+        happen without an intervening preemption point, like a LOCK-
+        prefixed CMPXCHG.
+        """
+        addr_int = int(addr)
+        instr = call_site()
+        thread = self._thread()
+        self._yield()
+        writers = self.pool.memory.nonpersisted_writers(addr_int, 8)
+        old = _U64.unpack(self.pool.memory.load(addr_int, 8))[0]
+        load_event = PmAccessEvent(
+            "load", addr_int, 8, old, thread, instr,
+            self._stack(bool(writers)), writers,
+        )
+        minted = self.ctx.dispatch_load(load_event)
+        labels = self.ctx.shadow_load(addr_int, 8) | minted
+        old_value = with_taint(old, labels) if labels else old
+        if old != int(expected):
+            return False, old_value
+        content_taint = taint_of(new)
+        addr_taint = taint_of(addr)
+        tid = thread.tid if thread is not None else -1
+        self.pool.memory.store(addr_int, _U64.pack(int(new) & (2 ** 64 - 1)),
+                               tid, instr, ntstore=False)
+        self.ctx.shadow_store(addr_int, 8, content_taint)
+        store_event = PmAccessEvent(
+            "cas", addr_int, 8, new, thread, instr,
+            self._stack(bool(content_taint | addr_taint)), (),
+            content_taint | addr_taint, addr_taint,
+        )
+        self.ctx.dispatch_store(store_event)
+        if self.ctx.controller is not None and thread is not None:
+            self.ctx.controller.after_store(addr_int, instr, thread)
+        return True, old_value
+
+    # ------------------------------------------------------------------
+    # persistency instructions
+
+    def clwb(self, addr):
+        addr_int = int(addr)
+        instr = call_site()
+        thread = self._thread()
+        self._yield()
+        tid = thread.tid if thread is not None else -1
+        self.pool.memory.clwb(addr_int, tid)
+        self.ctx.dispatch_flush(PmAccessEvent(
+            "clwb", addr_int, 0, None, thread, instr))
+
+    def sfence(self):
+        instr = call_site()
+        thread = self._thread()
+        self._yield()
+        tid = thread.tid if thread is not None else -1
+        self.pool.memory.sfence(tid)
+        self.ctx.dispatch_fence(PmAccessEvent(
+            "sfence", None, 0, None, thread, instr))
+
+    def flush_range(self, addr, size):
+        """CLWB every line covering ``[addr, addr+size)`` (no fence)."""
+        addr_int = int(addr)
+        start = align_down(addr_int, CACHE_LINE_SIZE)
+        for line_addr in range(start, addr_int + max(size, 1), CACHE_LINE_SIZE):
+            self.clwb(line_addr)
+
+    def persist(self, addr, size):
+        """The common ``CLWB...; SFENCE`` persistence idiom."""
+        self.flush_range(addr, size)
+        self.sfence()

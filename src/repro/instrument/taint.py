@@ -1,0 +1,165 @@
+"""Value-level dynamic taint tracking (the DataFlowSanitizer substitute).
+
+A taint label is minted whenever a thread reads *non-persisted* PM data
+(an inconsistency candidate, Definition 1). The label rides on the value
+through arithmetic and byte manipulation; if a labeled value later flows
+into a PM write — either as the *content* or as the *address* — the write
+is a durable side effect based on non-persisted data, confirming a PM
+Inter-thread (or Intra-thread) Inconsistency (Definition 2, §4.3).
+"""
+
+EMPTY = frozenset()
+
+
+class TaintLabel:
+    """One taint source: the candidate read that minted the label.
+
+    Attributes:
+        candidate_id: Index of the inconsistency-candidate record.
+        read_instr: Instruction ID of the non-persisted load.
+        write_instr: Instruction ID of the store that produced the data.
+        writer_tid / reader_tid: Thread identities (inter vs intra).
+    """
+
+    __slots__ = ("candidate_id", "read_instr", "write_instr",
+                 "writer_tid", "reader_tid")
+
+    def __init__(self, candidate_id, read_instr, write_instr,
+                 writer_tid, reader_tid):
+        self.candidate_id = candidate_id
+        self.read_instr = read_instr
+        self.write_instr = write_instr
+        self.writer_tid = writer_tid
+        self.reader_tid = reader_tid
+
+    @property
+    def cross_thread(self):
+        return self.writer_tid != self.reader_tid
+
+    def __repr__(self):
+        kind = "inter" if self.cross_thread else "intra"
+        return "<TaintLabel #%d %s %s->%s>" % (
+            self.candidate_id, kind, self.write_instr, self.read_instr)
+
+
+def taint_of(value):
+    """The label set carried by ``value`` (empty for untainted values)."""
+    return getattr(value, "labels", EMPTY)
+
+
+def merge_taints(*values):
+    """Union of the label sets of all ``values``."""
+    labels = EMPTY
+    for value in values:
+        extra = taint_of(value)
+        if extra:
+            labels = labels | extra
+    return labels
+
+
+class TaintedInt(int):
+    """An ``int`` carrying taint labels; arithmetic propagates them."""
+
+    def __new__(cls, value, labels=EMPTY):
+        self = super().__new__(cls, value)
+        self.labels = frozenset(labels)
+        return self
+
+    def __repr__(self):
+        return "TaintedInt(%d, %d labels)" % (int(self), len(self.labels))
+
+
+class TaintedBytes(bytes):
+    """``bytes`` carrying taint labels; slicing/concat propagate them."""
+
+    def __new__(cls, value, labels=EMPTY):
+        self = super().__new__(cls, value)
+        self.labels = frozenset(labels)
+        return self
+
+    def __getitem__(self, item):
+        result = super().__getitem__(item)
+        if isinstance(item, slice):
+            return TaintedBytes(result, self.labels)
+        return TaintedInt(result, self.labels)
+
+    def __add__(self, other):
+        return TaintedBytes(bytes(self) + bytes(other),
+                            self.labels | taint_of(other))
+
+    def __radd__(self, other):
+        return TaintedBytes(bytes(other) + bytes(self),
+                            self.labels | taint_of(other))
+
+    def __repr__(self):
+        return "TaintedBytes(%r, %d labels)" % (bytes(self), len(self.labels))
+
+
+def with_taint(value, labels):
+    """Wrap ``value`` so it carries ``labels`` (no-op if labels empty)."""
+    if not labels:
+        return value
+    merged = frozenset(labels) | taint_of(value)
+    if isinstance(value, bool):
+        return TaintedInt(int(value), merged)
+    if isinstance(value, int):
+        return TaintedInt(value, merged)
+    if isinstance(value, (bytes, bytearray)):
+        return TaintedBytes(bytes(value), merged)
+    raise TypeError("cannot taint value of type %s" % type(value).__name__)
+
+
+def _binary(name):
+    int_op = getattr(int, name)
+
+    def op(self, other):
+        result = int_op(int(self), int(other) if isinstance(other, int) else other)
+        if result is NotImplemented:
+            return NotImplemented
+        labels = self.labels | taint_of(other)
+        if isinstance(result, int) and not isinstance(result, bool):
+            return TaintedInt(result, labels)
+        return result
+
+    op.__name__ = name
+    return op
+
+
+def _reflected(name):
+    int_op = getattr(int, name)
+
+    def op(self, other):
+        result = int_op(int(self), int(other) if isinstance(other, int) else other)
+        if result is NotImplemented:
+            return NotImplemented
+        labels = self.labels | taint_of(other)
+        if isinstance(result, int) and not isinstance(result, bool):
+            return TaintedInt(result, labels)
+        return result
+
+    op.__name__ = name
+    return op
+
+
+def _unary(name):
+    int_op = getattr(int, name)
+
+    def op(self):
+        return TaintedInt(int_op(int(self)), self.labels)
+
+    op.__name__ = name
+    return op
+
+
+for _name in ("__add__", "__sub__", "__mul__", "__floordiv__", "__mod__",
+              "__and__", "__or__", "__xor__", "__lshift__", "__rshift__",
+              "__pow__"):
+    setattr(TaintedInt, _name, _binary(_name))
+
+for _name in ("__radd__", "__rsub__", "__rmul__", "__rfloordiv__",
+              "__rmod__", "__rand__", "__ror__", "__rxor__",
+              "__rlshift__", "__rrshift__"):
+    setattr(TaintedInt, _name, _reflected(_name))
+
+for _name in ("__neg__", "__pos__", "__invert__", "__abs__"):
+    setattr(TaintedInt, _name, _unary(_name))

@@ -1,0 +1,27 @@
+"""Mini-PMDK: pool management, undo-log transactions, transactional alloc."""
+
+from .pool import (
+    HEAP_START,
+    LANE_COUNT,
+    MAGIC,
+    PmemObjPool,
+    REGISTRY_SLOTS,
+    REGISTRY_START,
+    pmem_map_file,
+)
+from .tx import Transaction, TransactionError
+from .alloc import BumpHeap, pm_atomic_alloc
+
+__all__ = [
+    "BumpHeap",
+    "pm_atomic_alloc",
+    "PmemObjPool",
+    "pmem_map_file",
+    "Transaction",
+    "TransactionError",
+    "MAGIC",
+    "HEAP_START",
+    "LANE_COUNT",
+    "REGISTRY_START",
+    "REGISTRY_SLOTS",
+]

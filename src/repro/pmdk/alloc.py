@@ -1,0 +1,57 @@
+"""Redo-log-protected atomic allocation helpers (whitelisted by default).
+
+PMDK's transactional/atomic allocators read shared allocator metadata that
+other threads may have written without an intervening flush — a textbook
+PM Inter-thread Inconsistency Candidate. It is *benign*: the allocator's
+redo log (modeled by the durable registry) makes the operation
+crash-consistent regardless of what the racy read observed, which is why
+the default whitelist (§4.4) covers this module.
+
+Targets that allocate on hot paths (clevel hashing) use
+:func:`pm_atomic_alloc` so their reports exercise the whitelist exactly
+like the paper's clevel results (2 inter inconsistencies, both
+whitelisted, 0 bugs).
+"""
+
+
+class BumpHeap:
+    """A shared PM bump-pointer heap: one persistent cursor word.
+
+    Args:
+        cursor_addr: Pool offset of the persistent bump cursor (u64).
+        limit: One past the last allocatable byte.
+    """
+
+    def __init__(self, cursor_addr, limit):
+        self.cursor_addr = cursor_addr
+        self.limit = limit
+
+    def init(self, view, heap_start):
+        view.ntstore_u64(self.cursor_addr, heap_start)
+        view.sfence()
+
+
+def pm_atomic_alloc(view, heap, size, align=64):
+    """Bump-allocate ``size`` bytes from a shared persistent cursor.
+
+    The cursor load may observe another thread's non-persisted advance;
+    the CAS that publishes the new cursor is then a durable side effect
+    based on that read. Both are crash-consistent here (the cursor is
+    ntstore/CAS-advanced and recovery re-derives free space from it), so
+    this whole code path belongs on the whitelist.
+
+    Returns the allocated offset, or 0 when the heap is exhausted.
+    """
+    size = (size + align - 1) // align * align
+    while True:
+        cursor = view.load_u64(heap.cursor_addr)
+        base = (cursor + align - 1) // align * align
+        new_cursor = base + size
+        if int(new_cursor) > heap.limit:
+            return 0
+        ok, _ = view.cas_u64(heap.cursor_addr, cursor, new_cursor)
+        if ok:
+            # No flush: the redo-log registry, not the cursor, is the
+            # durable source of truth — so later racy cursor reads are
+            # real (whitelisted) inconsistency candidates.
+            return base

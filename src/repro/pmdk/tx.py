@@ -1,0 +1,134 @@
+"""Mini-PMDK undo-log transactions.
+
+Semantics follow the paper's observations about real PMDK (§4.4):
+
+* failure atomicity via *undo logging* — ``add_range`` copies the old
+  contents into a durable lane before the first in-place write;
+* **no isolation** — writes inside a transaction are immediately visible
+  to other threads (this is exactly why PMDK transactions do not prevent
+  PM concurrency bugs);
+* transactional allocation is protected by the allocator's redo-log-style
+  durable registry, so reads on that path are whitelisted by default.
+"""
+
+import struct
+
+from ..pmem.errors import PmemError
+from .pool import LANE_ENTRIES, LANE_ENTRY_BYTES, LANE_HEADER_BYTES
+
+_U64 = struct.Struct("<Q")
+
+
+class TransactionError(PmemError):
+    """Transaction misuse (nested manual tx, overflowing lane, ...)."""
+
+
+class Transaction:
+    """One undo-log transaction bound to a lane of a :class:`PmemObjPool`.
+
+    Use as a context manager::
+
+        with Transaction(objpool, view, tid) as tx:
+            tx.add_range(addr, 8)
+            view.store_u64(addr, value)
+
+    On normal exit the lane is committed (log discarded); on exception the
+    writes are rolled back from the log immediately.
+    """
+
+    def __init__(self, objpool, view, tid=0):
+        self.objpool = objpool
+        self.view = view
+        self.lane = objpool.lane_base(tid)
+        self._count = 0
+        self._active = False
+        self._allocs = []
+
+    # ------------------------------------------------------------------
+
+    def begin(self):
+        if self._active:
+            raise TransactionError("transaction already active on this lane")
+        mem = self.objpool.pool.memory
+        mem.store(self.lane + 8, _U64.pack(0), None, "pmdk.tx", ntstore=True)
+        mem.store(self.lane, _U64.pack(1), None, "pmdk.tx", ntstore=True)
+        self._active = True
+        self._count = 0
+        self._allocs = []
+        return self
+
+    def add_range(self, addr, size):
+        """Log the pre-image of ``[addr, addr+size)`` (64-byte chunks)."""
+        if not self._active:
+            raise TransactionError("add_range outside a transaction")
+        mem = self.objpool.pool.memory
+        cursor = int(addr)
+        remaining = int(size)
+        while remaining > 0:
+            chunk = min(remaining, 64)
+            if self._count >= LANE_ENTRIES:
+                raise TransactionError("undo lane overflow")
+            entry = (self.lane + LANE_HEADER_BYTES
+                     + self._count * LANE_ENTRY_BYTES)
+            data = mem.load(cursor, chunk)
+            mem.store(entry, _U64.pack(cursor), None, "pmdk.tx", ntstore=True)
+            mem.store(entry + 8, _U64.pack(chunk), None, "pmdk.tx",
+                      ntstore=True)
+            mem.store(entry + 16, data, None, "pmdk.tx", ntstore=True)
+            self._count += 1
+            mem.store(self.lane + 8, _U64.pack(self._count), None, "pmdk.tx",
+                      ntstore=True)
+            cursor += chunk
+            remaining -= chunk
+
+    def tx_alloc(self, size):
+        """Transactional allocation: redo-log protected, undone on abort."""
+        if not self._active:
+            raise TransactionError("tx_alloc outside a transaction")
+        off = self.objpool.allocator.alloc(size)
+        self._allocs.append(off)
+        return off
+
+    def tx_free(self, off):
+        """Transactional free (applied immediately; real PMDK defers)."""
+        if not self._active:
+            raise TransactionError("tx_free outside a transaction")
+        self.objpool.allocator.free(off)
+
+    def commit(self):
+        if not self._active:
+            raise TransactionError("commit outside a transaction")
+        mem = self.objpool.pool.memory
+        mem.store(self.lane, _U64.pack(0), None, "pmdk.tx", ntstore=True)
+        mem.store(self.lane + 8, _U64.pack(0), None, "pmdk.tx", ntstore=True)
+        self._active = False
+
+    def abort(self):
+        """Roll back in-place writes from the undo log, newest first."""
+        if not self._active:
+            return
+        mem = self.objpool.pool.memory
+        for index in range(self._count - 1, -1, -1):
+            entry = (self.lane + LANE_HEADER_BYTES
+                     + index * LANE_ENTRY_BYTES)
+            addr = _U64.unpack(mem.load(entry, 8))[0]
+            size = _U64.unpack(mem.load(entry + 8, 8))[0]
+            data = mem.load(entry + 16, size)
+            mem.store(addr, data, None, "pmdk.tx.abort", ntstore=True)
+        for off in reversed(self._allocs):
+            self.objpool.allocator.free(off)
+        mem.store(self.lane, _U64.pack(0), None, "pmdk.tx", ntstore=True)
+        mem.store(self.lane + 8, _U64.pack(0), None, "pmdk.tx", ntstore=True)
+        self._active = False
+
+    # ------------------------------------------------------------------
+
+    def __enter__(self):
+        return self.begin()
+
+    def __exit__(self, exc_type, exc, tb):
+        if exc_type is None:
+            self.commit()
+        else:
+            self.abort()
+        return False

@@ -1,0 +1,59 @@
+"""Cache-line geometry and persistency states for the simulated PM.
+
+The paper's failure model (§3.1) assumes volatile CPU caches over durable
+PM with 64-byte cache lines. A store leaves its line ``DIRTY`` in cache;
+``CLWB`` initiates a write-back (``PENDING``); an ``SFENCE`` makes prior
+write-backs durable (``CLEAN``). Non-temporal stores bypass the cache and
+are modeled as immediately ``CLEAN`` (still requiring a fence for
+*ordering*, which the detection logic does not depend on).
+"""
+
+import enum
+
+#: Size of a simulated CPU cache line in bytes (x86).
+CACHE_LINE_SIZE = 64
+
+#: Size of the machine word used by the typed accessors.
+WORD_SIZE = 8
+
+
+class LineState(enum.Enum):
+    """Persistency state of one cache line, as tracked by the substrate."""
+
+    #: Line contents match the durable medium.
+    CLEAN = "clean"
+    #: Line has unwritten-back stores; contents lost on crash.
+    DIRTY = "dirty"
+    #: CLWB issued but not yet fenced; durability not guaranteed.
+    PENDING = "pending"
+
+
+def line_of(addr):
+    """Return the cache-line index containing byte offset ``addr``."""
+    return addr // CACHE_LINE_SIZE
+
+
+def line_range(addr, size):
+    """Return the range of cache-line indexes touched by ``[addr, addr+size)``."""
+    if size <= 0:
+        return range(0)
+    first = line_of(addr)
+    last = line_of(addr + size - 1)
+    return range(first, last + 1)
+
+
+def line_bounds(line):
+    """Return ``(start, end)`` byte offsets of cache line ``line``."""
+    start = line * CACHE_LINE_SIZE
+    return start, start + CACHE_LINE_SIZE
+
+
+def align_down(addr, alignment=CACHE_LINE_SIZE):
+    """Round ``addr`` down to a multiple of ``alignment``."""
+    return addr - (addr % alignment)
+
+
+def align_up(addr, alignment=CACHE_LINE_SIZE):
+    """Round ``addr`` up to a multiple of ``alignment``."""
+    rem = addr % alignment
+    return addr if rem == 0 else addr + alignment - rem

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the simulated persistent-memory substrate."""
+
+
+class PmemError(Exception):
+    """Base class for all persistent-memory simulation errors."""
+
+
+class OutOfBoundsError(PmemError):
+    """A PM access fell outside the mapped pool."""
+
+    def __init__(self, addr, size, pool_size):
+        super().__init__(
+            "PM access at offset %#x (size %d) outside pool of %d bytes"
+            % (addr, size, pool_size)
+        )
+        self.addr = addr
+        self.size = size
+        self.pool_size = pool_size
+
+
+class MisalignedAccessError(PmemError):
+    """A word access was not naturally aligned."""
+
+    def __init__(self, addr, size):
+        super().__init__("misaligned %d-byte PM access at offset %#x" % (size, addr))
+        self.addr = addr
+        self.size = size
+
+
+class AllocationError(PmemError):
+    """The persistent allocator could not satisfy a request."""
+
+
+class DoubleFreeError(AllocationError):
+    """A persistent block was freed twice."""
+
+
+class PoolError(PmemError):
+    """Pool management failure (unknown pool, reopened pool, bad layout)."""
+
+
+class CrashError(PmemError):
+    """Raised inside simulated threads when a crash point is injected."""

@@ -1,0 +1,58 @@
+"""Typed layout helpers for persistent structures.
+
+Targets describe on-PM structs as ordered ``(name, size)`` fields; a
+:class:`StructLayout` turns that into stable offsets so code reads like the
+original C (``layout.off(node, "next")`` instead of magic numbers).
+"""
+
+from .cacheline import align_up
+from .errors import PmemError
+
+
+class StructLayout:
+    """Offsets of the fields of one persistent struct.
+
+    Args:
+        name: Struct name (used in error messages).
+        fields: Iterable of field names (8 bytes each) or ``(name, size)``
+            tuples.
+        align: Total-size alignment; cache-line by default so structs
+            allocated back to back never share a line.
+    """
+
+    def __init__(self, name, fields, align=64):
+        self.name = name
+        self.offsets = {}
+        self.sizes = {}
+        cursor = 0
+        for field in fields:
+            if isinstance(field, str):
+                fname, fsize = field, 8
+            else:
+                fname, fsize = field
+            if fname in self.offsets:
+                raise PmemError("duplicate field %r in struct %s" % (fname, name))
+            # naturally align words
+            if fsize in (4, 8):
+                cursor = align_up(cursor, fsize)
+            self.offsets[fname] = cursor
+            self.sizes[fname] = fsize
+            cursor += fsize
+        self.size = align_up(cursor, align)
+
+    def off(self, base, field):
+        """Absolute pool offset of ``field`` in the struct at ``base``."""
+        try:
+            return base + self.offsets[field]
+        except KeyError:
+            raise PmemError("struct %s has no field %r" % (self.name, field))
+
+    def field_size(self, field):
+        return self.sizes[field]
+
+    def __contains__(self, field):
+        return field in self.offsets
+
+    def __repr__(self):
+        return "<StructLayout %s size=%d fields=%s>" % (
+            self.name, self.size, list(self.offsets))

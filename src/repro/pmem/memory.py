@@ -1,0 +1,285 @@
+"""Simulated byte-addressable persistent memory with volatile CPU caches.
+
+This module is the ground truth for the failure model assumed by the paper
+(§3.1): stores land in a volatile cache and are only durable after an
+explicit write-back (``CLWB``) followed by a fence (``SFENCE``), or when
+issued as non-temporal stores. A crash discards every non-persisted line.
+
+Two views are maintained:
+
+* the *volatile* view — what loads observe while the system is running;
+* the *persisted* view — what a crash image is built from.
+
+Per-word last-writer records let checkers attribute a non-persisted read to
+the thread and instruction that produced the dirty data, exactly like the
+persistency-state hash table described in §4.3.
+"""
+
+import random
+
+from .cacheline import (
+    CACHE_LINE_SIZE,
+    WORD_SIZE,
+    LineState,
+    align_down,
+    line_bounds,
+    line_range,
+)
+from .errors import OutOfBoundsError
+
+
+class StoreRecord:
+    """Metadata of one PM store, kept per dirty word.
+
+    Attributes:
+        addr: Byte offset of the store.
+        size: Store size in bytes.
+        thread_id: Identifier of the storing thread.
+        instr_id: Instruction identifier (call-site) of the store.
+        seq: Global sequence number (monotonic per memory instance).
+        ntstore: Whether the store bypassed the cache.
+    """
+
+    __slots__ = ("addr", "size", "thread_id", "instr_id", "seq", "ntstore")
+
+    def __init__(self, addr, size, thread_id, instr_id, seq, ntstore=False):
+        self.addr = addr
+        self.size = size
+        self.thread_id = thread_id
+        self.instr_id = instr_id
+        self.seq = seq
+        self.ntstore = ntstore
+
+    def __repr__(self):
+        kind = "ntstore" if self.ntstore else "store"
+        return "<%s addr=%#x size=%d thread=%s instr=%s seq=%d>" % (
+            kind,
+            self.addr,
+            self.size,
+            self.thread_id,
+            self.instr_id,
+            self.seq,
+        )
+
+
+class MemorySnapshot:
+    """Opaque deep snapshot of a :class:`PersistentMemory` instance."""
+
+    __slots__ = ("volatile", "persisted", "line_states", "dirty_words",
+                 "pending_by_thread", "seq")
+
+    def __init__(self, volatile, persisted, line_states, dirty_words,
+                 pending_by_thread, seq):
+        self.volatile = volatile
+        self.persisted = persisted
+        self.line_states = line_states
+        self.dirty_words = dirty_words
+        self.pending_by_thread = pending_by_thread
+        self.seq = seq
+
+
+class PersistentMemory:
+    """A flat simulated PM region with cache-line persistency tracking.
+
+    Args:
+        size: Pool size in bytes (rounded up to a cache-line multiple).
+        pending_persists_on_crash: If True, lines in ``PENDING`` state (CLWB
+            issued, fence not yet executed) survive crashes. The paper's
+            checker is conservative and treats them as lost; that is the
+            default here too.
+        eadr: Model an extended-ADR platform (§6.6): CPU caches are inside
+            the persistence domain, so every store is immediately durable
+            and flush instructions become no-ops. PM Inter-thread
+            Inconsistencies cannot occur, but PM Synchronization
+            Inconsistencies still can — locks persisted in PM survive
+            crashes regardless of where they were buffered.
+    """
+
+    def __init__(self, size, pending_persists_on_crash=False, eadr=False):
+        size = ((size + CACHE_LINE_SIZE - 1) // CACHE_LINE_SIZE) * CACHE_LINE_SIZE
+        self.size = size
+        self.pending_persists_on_crash = pending_persists_on_crash
+        self.eadr = eadr
+        self._volatile = bytearray(size)
+        self._persisted = bytearray(size)
+        #: line index -> LineState; missing key means CLEAN.
+        self._line_states = {}
+        #: word-aligned offset -> StoreRecord of the latest non-persisted store.
+        self._dirty_words = {}
+        #: thread_id -> set of line indexes with an outstanding CLWB.
+        self._pending_by_thread = {}
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # bounds helpers
+
+    def _check(self, addr, size):
+        if addr < 0 or size < 0 or addr + size > self.size:
+            raise OutOfBoundsError(addr, size, self.size)
+
+    def _words_of(self, addr, size):
+        first = align_down(addr, WORD_SIZE)
+        last = align_down(addr + size - 1, WORD_SIZE)
+        return range(first, last + WORD_SIZE, WORD_SIZE)
+
+    # ------------------------------------------------------------------
+    # data path
+
+    def store(self, addr, data, thread_id=None, instr_id=None, ntstore=False):
+        """Write ``data`` at ``addr``; returns the :class:`StoreRecord`.
+
+        A regular store dirties the touched cache lines. A non-temporal
+        store writes through to the persisted view and leaves the touched
+        words clean.
+        """
+        size = len(data)
+        self._check(addr, size)
+        self._seq += 1
+        record = StoreRecord(addr, size, thread_id, instr_id, self._seq, ntstore)
+        self._volatile[addr:addr + size] = data
+        if self.eadr:
+            ntstore = True  # battery-backed caches: every store is durable
+        if ntstore:
+            self._persisted[addr:addr + size] = data
+            for word in self._words_of(addr, size):
+                self._dirty_words.pop(word, None)
+            for line in line_range(addr, size):
+                if not self._line_has_dirty_words(line):
+                    self._line_states.pop(line, None)
+        else:
+            for word in self._words_of(addr, size):
+                self._dirty_words[word] = record
+            for line in line_range(addr, size):
+                self._line_states[line] = LineState.DIRTY
+        return record
+
+    def load(self, addr, size):
+        """Return ``size`` bytes of the volatile view at ``addr``."""
+        self._check(addr, size)
+        return bytes(self._volatile[addr:addr + size])
+
+    def load_persisted(self, addr, size):
+        """Return ``size`` bytes of the *persisted* view at ``addr``."""
+        self._check(addr, size)
+        return bytes(self._persisted[addr:addr + size])
+
+    def clwb(self, addr, thread_id=None):
+        """Initiate write-back of the line containing ``addr`` (DIRTY→PENDING)."""
+        self._check(addr, 1)
+        for line in line_range(addr, 1):
+            state = self._line_states.get(line, LineState.CLEAN)
+            if state is LineState.CLEAN:
+                continue
+            self._line_states[line] = LineState.PENDING
+            self._pending_by_thread.setdefault(thread_id, set()).add(line)
+
+    def clflush(self, addr, thread_id=None):
+        """Flush-and-persist immediately (CLFLUSH is ordered by itself)."""
+        self._check(addr, 1)
+        for line in line_range(addr, 1):
+            self._persist_line(line)
+
+    def sfence(self, thread_id=None):
+        """Persist every line the thread has CLWB'd since its last fence."""
+        pending = self._pending_by_thread.pop(thread_id, None)
+        if not pending:
+            return
+        for line in pending:
+            if self._line_states.get(line) is LineState.PENDING:
+                self._persist_line(line)
+
+    def _persist_line(self, line):
+        start, end = line_bounds(line)
+        end = min(end, self.size)
+        self._persisted[start:end] = self._volatile[start:end]
+        self._line_states.pop(line, None)
+        for word in range(start, end, WORD_SIZE):
+            self._dirty_words.pop(word, None)
+
+    def _line_has_dirty_words(self, line):
+        start, end = line_bounds(line)
+        return any(word in self._dirty_words
+                   for word in range(start, min(end, self.size), WORD_SIZE))
+
+    def persist_all(self):
+        """Persist the whole pool (used for clean-shutdown/setup phases)."""
+        self._persisted[:] = self._volatile
+        self._line_states.clear()
+        self._dirty_words.clear()
+        self._pending_by_thread.clear()
+
+    # ------------------------------------------------------------------
+    # persistency queries (the checkers' view)
+
+    def line_state(self, addr):
+        """Return the :class:`LineState` of the line containing ``addr``."""
+        self._check(addr, 1)
+        return self._line_states.get(addr // CACHE_LINE_SIZE, LineState.CLEAN)
+
+    def is_persisted(self, addr, size):
+        """True iff no byte in ``[addr, addr+size)`` has a non-persisted store."""
+        self._check(addr, size)
+        return not any(word in self._dirty_words
+                       for word in self._words_of(addr, size))
+
+    def nonpersisted_writers(self, addr, size):
+        """Return StoreRecords of non-persisted stores overlapping the range."""
+        self._check(addr, size)
+        seen = []
+        for word in self._words_of(addr, size):
+            record = self._dirty_words.get(word)
+            if record is not None and record not in seen:
+                seen.append(record)
+        return seen
+
+    def dirty_line_count(self):
+        """Number of lines currently not CLEAN."""
+        return len(self._line_states)
+
+    # ------------------------------------------------------------------
+    # crashes and snapshots
+
+    def crash_image(self, evict_fraction=0.0, rng=None):
+        """Return the byte contents PM would hold after a crash right now.
+
+        Args:
+            evict_fraction: Probability that a DIRTY line was evicted by the
+                hardware before the crash (arbitrary cache eviction, §2.1).
+            rng: Optional ``random.Random`` for eviction sampling.
+        """
+        image = bytearray(self._persisted)
+        survivors = []
+        for line, state in self._line_states.items():
+            if state is LineState.PENDING and self.pending_persists_on_crash:
+                survivors.append(line)
+            elif evict_fraction > 0.0:
+                rng = rng or random.Random(0)
+                if rng.random() < evict_fraction:
+                    survivors.append(line)
+        for line in survivors:
+            start, end = line_bounds(line)
+            end = min(end, self.size)
+            image[start:end] = self._volatile[start:end]
+        return bytes(image)
+
+    def snapshot(self):
+        """Capture a deep snapshot (volatile + persisted + metadata)."""
+        return MemorySnapshot(
+            bytearray(self._volatile),
+            bytearray(self._persisted),
+            dict(self._line_states),
+            dict(self._dirty_words),
+            {tid: set(lines) for tid, lines in self._pending_by_thread.items()},
+            self._seq,
+        )
+
+    def restore(self, snap):
+        """Restore a snapshot previously taken with :meth:`snapshot`."""
+        self._volatile = bytearray(snap.volatile)
+        self._persisted = bytearray(snap.persisted)
+        self._line_states = dict(snap.line_states)
+        self._dirty_words = dict(snap.dirty_words)
+        self._pending_by_thread = {
+            tid: set(lines) for tid, lines in snap.pending_by_thread.items()
+        }
+        self._seq = snap.seq

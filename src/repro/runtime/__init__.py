@@ -1,0 +1,26 @@
+"""Deterministic cooperative concurrency substrate."""
+
+from .scheduler import Hang, RunOutcome, Scheduler
+from .thread import SimThread, ThreadKilled, ThreadState
+from .policies import (
+    DelayInjectionPolicy,
+    RoundRobinPolicy,
+    SchedulingPolicy,
+    SeededRandomPolicy,
+)
+from .sync import SimLock, SimRWLock
+
+__all__ = [
+    "Scheduler",
+    "RunOutcome",
+    "Hang",
+    "SimThread",
+    "ThreadState",
+    "ThreadKilled",
+    "SchedulingPolicy",
+    "RoundRobinPolicy",
+    "SeededRandomPolicy",
+    "DelayInjectionPolicy",
+    "SimLock",
+    "SimRWLock",
+]

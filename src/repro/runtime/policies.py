@@ -1,0 +1,80 @@
+"""Scheduling policies: how the next simulated thread is chosen.
+
+Policies are the exploration substrate that §4.2.2 builds on. The
+sync-point controller (``repro.core.syncpoints``) layers Figure 6's
+``cond_wait``/``cond_signal`` on top of whichever policy is active, so the
+policies here stay simple:
+
+* :class:`RoundRobinPolicy` — fair deterministic rotation.
+* :class:`SeededRandomPolicy` — uniform random successor from a seed; the
+  default for fuzz campaigns (the "multiple runs with random scheduler"
+  baseline in §7 falls out of reseeding it).
+* :class:`DelayInjectionPolicy` — the paper's comparison scheme: before
+  each PM access a random delay (bounded) is injected by putting the
+  current thread to sleep for a few scheduling rounds.
+"""
+
+import random
+
+
+class SchedulingPolicy:
+    """Interface: ``pick`` a successor and observe ``on_yield`` events."""
+
+    def pick(self, scheduler, candidates, prev):
+        raise NotImplementedError
+
+    def on_yield(self, scheduler, thread, kind):
+        """Called at every yield point before successor selection."""
+
+    def reset(self):
+        """Reset per-run state (called between campaigns)."""
+
+
+class RoundRobinPolicy(SchedulingPolicy):
+    """Rotate through runnable threads in tid order."""
+
+    def pick(self, scheduler, candidates, prev):
+        if prev is None or prev not in scheduler.threads:
+            return candidates[0]
+        order = sorted(candidates, key=lambda t: t.tid)
+        for thread in order:
+            if thread.tid > prev.tid:
+                return thread
+        return order[0]
+
+
+class SeededRandomPolicy(SchedulingPolicy):
+    """Pick a uniformly random runnable thread from a seeded RNG."""
+
+    def __init__(self, seed=0):
+        self.seed = seed
+        self.rng = random.Random(seed)
+
+    def reset(self):
+        self.rng = random.Random(self.seed)
+
+    def reseed(self, seed):
+        self.seed = seed
+        self.rng = random.Random(seed)
+
+    def pick(self, scheduler, candidates, prev):
+        return self.rng.choice(candidates)
+
+
+class DelayInjectionPolicy(SeededRandomPolicy):
+    """Random delays before PM accesses (§6.1's "Delay Inj" baseline).
+
+    Before each PM-access yield, with probability ``delay_prob`` the
+    current thread sleeps for ``1..max_delay_steps`` scheduling rounds,
+    emulating "a random delay (1 millisecond at most) following a uniform
+    distribution".
+    """
+
+    def __init__(self, seed=0, delay_prob=0.25, max_delay_steps=12):
+        super().__init__(seed)
+        self.delay_prob = delay_prob
+        self.max_delay_steps = max_delay_steps
+
+    def on_yield(self, scheduler, thread, kind):
+        if kind == "op" and self.rng.random() < self.delay_prob:
+            thread.sleep_steps += self.rng.randint(1, self.max_delay_steps)

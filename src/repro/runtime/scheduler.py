@@ -1,0 +1,239 @@
+"""Deterministic cooperative scheduler for simulated threads.
+
+Exactly one simulated thread runs at a time; every instrumented operation
+calls :meth:`Scheduler.yield_point`, where the scheduler hands control to
+the next thread chosen by the active :mod:`policy <repro.runtime.policies>`.
+Given the same policy seed and a deterministic program, the interleaving is
+fully reproducible — the property the fuzzer's execution tier relies on.
+
+Blocking primitives (locks, the sync-point ``cond_wait``) are spin loops
+over ``yield_point(kind="spin")``, so the scheduler can detect hangs the
+way §4.2.2's pitfalls describe: "some threads block" and "all threads
+block" conditions are spin-streak thresholds.
+
+Hand-off is one ``threading.Event`` per simulated thread: the yielding
+thread arms the successor's event and parks on its own. Because at most
+one thread is runnable, state mutations are serialized by construction; a
+small lock protects the pieces the driver thread reads concurrently.
+"""
+
+import threading
+
+from .thread import SimThread, ThreadKilled, ThreadState
+
+
+class Hang(Exception):
+    """All live threads spun past the hang threshold, or budget exhausted."""
+
+    def __init__(self, message, blocked=()):
+        super().__init__(message)
+        self.blocked = list(blocked)
+
+
+class RunOutcome:
+    """Result of one scheduled run.
+
+    Attributes:
+        status: "ok", "hang", "budget", or "error".
+        steps: Total yield points executed.
+        error: The first exception raised by a simulated thread, if any.
+        blocked: ``(thread name, reason)`` pairs at hang time.
+    """
+
+    def __init__(self, status, steps, error=None, blocked=()):
+        self.status = status
+        self.steps = steps
+        self.error = error
+        self.blocked = list(blocked)
+
+    @property
+    def ok(self):
+        return self.status == "ok"
+
+    def __repr__(self):
+        return "<RunOutcome %s steps=%d>" % (self.status, self.steps)
+
+
+class Scheduler:
+    """Serializes simulated threads and enforces hang/budget limits.
+
+    Args:
+        policy: Scheduling policy (see :mod:`repro.runtime.policies`).
+        max_steps: Total yield-point budget before declaring "budget".
+        spin_hang_limit: Consecutive spin yields per thread after which,
+            if *every* live thread is spinning, the run is declared hung.
+        thread_spin_limit: Consecutive spin yields after which a single
+            thread is considered permanently blocked (e.g. on a leaked
+            lock) even while others progress; defaults to 4x the hang
+            limit.
+    """
+
+    def __init__(self, policy, max_steps=30_000, spin_hang_limit=400,
+                 thread_spin_limit=None):
+        self.policy = policy
+        self.max_steps = max_steps
+        self.spin_hang_limit = spin_hang_limit
+        self.thread_spin_limit = thread_spin_limit or spin_hang_limit * 4
+        self.threads = []
+        self.steps = 0
+        self._lock = threading.Lock()
+        self._done = threading.Event()
+        self._aborting = False
+        self._outcome_status = "ok"
+        self._blocked_report = []
+        self._local = threading.local()
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # setup
+
+    def spawn(self, fn, name=None):
+        """Register a simulated thread running ``fn()``; returns it."""
+        if self._started:
+            raise RuntimeError("cannot spawn after run() started")
+        thread = SimThread(self, len(self.threads), fn, name)
+        thread._go = threading.Event()
+        self.threads.append(thread)
+        return thread
+
+    def current(self):
+        """The :class:`SimThread` executing on this OS thread, or None."""
+        return getattr(self._local, "sim_thread", None)
+
+    # ------------------------------------------------------------------
+    # run loop (driver side)
+
+    def run(self):
+        """Start all threads, serialize them to completion; returns outcome."""
+        if not self.threads:
+            return RunOutcome("ok", 0)
+        self._started = True
+        for thread in self.threads:
+            thread.start()
+        first = self._pick(None)
+        if first is not None:
+            first._go.set()
+        self._done.wait()
+        for thread in self.threads:
+            thread.join(timeout=5.0)
+        error = next((t.error for t in self.threads if t.error is not None),
+                     None)
+        if error is not None and self._outcome_status == "ok":
+            self._outcome_status = "error"
+        return RunOutcome(self._outcome_status, self.steps, error,
+                          self._blocked_report)
+
+    # ------------------------------------------------------------------
+    # thread side
+
+    def _enter_thread(self, thread):
+        self._local.sim_thread = thread
+        thread._go.wait()
+        thread._go.clear()
+        if self._aborting:
+            raise ThreadKilled()
+
+    def _exit_thread(self, thread):
+        with self._lock:
+            thread.state = ThreadState.DONE
+            live = self._live()
+            if not live:
+                self._done.set()
+                return
+            nxt = self._pick_locked(thread)
+        if nxt is not None:
+            nxt._go.set()
+
+    def yield_point(self, kind="op", reason=None):
+        """Surrender the processor; returns when rescheduled.
+
+        Args:
+            kind: "op" for ordinary instrumented operations, "spin" for
+                busy-wait iterations inside blocking primitives.
+            reason: Human-readable blocked reason (spin yields only).
+        """
+        thread = self.current()
+        if thread is None:
+            return  # driver code outside the simulation
+        if self._aborting:
+            raise ThreadKilled()
+        with self._lock:
+            self.steps += 1
+            thread.steps += 1
+            if kind == "spin":
+                thread.spin_streak += 1
+                thread.blocked_reason = reason
+            else:
+                thread.spin_streak = 0
+                thread.blocked_reason = None
+            self._check_limits_locked()
+            if self._aborting:
+                raise ThreadKilled()
+            self.policy.on_yield(self, thread, kind)
+            nxt = self._pick_locked(thread)
+        if nxt is thread or nxt is None:
+            return
+        thread._go.clear()
+        nxt._go.set()
+        thread._go.wait()
+        thread._go.clear()
+        if self._aborting:
+            raise ThreadKilled()
+
+    # ------------------------------------------------------------------
+    # internals
+
+    def _live(self):
+        return [t for t in self.threads if t.state is not ThreadState.DONE]
+
+    def _check_limits_locked(self):
+        if self.steps >= self.max_steps:
+            self._abort_locked("budget")
+            return
+        live = self._live()
+        if not live:
+            return
+        if all(t.spin_streak >= self.spin_hang_limit for t in live) or \
+                any(t.spin_streak >= self.thread_spin_limit for t in live):
+            self._blocked_report = [
+                (t.name, t.blocked_reason) for t in live
+                if t.spin_streak >= self.spin_hang_limit]
+            self._abort_locked("hang")
+
+    def _abort_locked(self, status):
+        self._outcome_status = status
+        self._aborting = True
+        for thread in self.threads:
+            thread._go.set()
+        self._done.set()
+
+    def _pick(self, prev):
+        with self._lock:
+            return self._pick_locked(prev)
+
+    def _pick_locked(self, prev):
+        live = self._live()
+        if not live:
+            return None
+        candidates = [t for t in live if t.sleep_steps == 0]
+        if not candidates:
+            for t in live:
+                t.sleep_steps = max(0, t.sleep_steps - 1)
+            candidates = [t for t in live if t.sleep_steps == 0] or live
+        chosen = self.policy.pick(self, candidates, prev)
+        for t in live:
+            if t is not chosen and t.sleep_steps:
+                t.sleep_steps -= 1
+        return chosen
+
+    # ------------------------------------------------------------------
+    # hang-awareness queries used by the sync-point controller
+
+    def some_thread_blocked(self, threshold):
+        """True if any live thread spun at least ``threshold`` times."""
+        return any(t.spin_streak >= threshold for t in self._live())
+
+    def all_threads_blocked(self, threshold):
+        """True if every live thread spun at least ``threshold`` times."""
+        live = self._live()
+        return bool(live) and all(t.spin_streak >= threshold for t in live)

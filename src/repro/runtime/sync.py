@@ -1,0 +1,100 @@
+"""Synchronization primitives for simulated threads.
+
+:class:`SimLock` is a DRAM mutex: it coordinates threads but leaves no
+trace in PM, so it can never produce a PM Synchronization Inconsistency.
+Persistent locks, by contrast, are plain PM words manipulated through the
+instrumented CAS in :class:`repro.instrument.hooks.PmView`; the targets use
+those where the original systems persisted their locks (P-CLHT bucket
+locks, CCEH segment locks).
+"""
+
+from .thread import ThreadKilled  # noqa: F401  (re-exported convenience)
+
+
+class SimLock:
+    """A DRAM spin lock driven by scheduler yield points.
+
+    Because the scheduler serializes threads, test-and-set needs no real
+    atomicity — the loop simply yields while the lock is held, which also
+    feeds hang detection when an unlock is missing (P-CLHT bug 5).
+    """
+
+    #: Sentinel holder for lock acquisition outside the scheduler
+    #: (single-threaded setup/recovery code).
+    _DRIVER = object()
+
+    def __init__(self, scheduler, name="lock"):
+        self.scheduler = scheduler
+        self.name = name
+        self.holder = None
+
+    def _me(self):
+        if self.scheduler is None:
+            return self._DRIVER
+        return self.scheduler.current() or self._DRIVER
+
+    def _yield(self, kind, reason=None):
+        if self.scheduler is not None:
+            self.scheduler.yield_point(kind, reason)
+
+    def acquire(self):
+        me = self._me()
+        while self.holder is not None and self.holder is not me:
+            if self.scheduler is None:
+                raise RuntimeError(
+                    "lock %s contended outside the scheduler" % self.name)
+            self._yield("spin", "lock:%s" % self.name)
+        self.holder = me
+        self._yield("op")
+
+    def release(self):
+        if self.holder is None:
+            raise RuntimeError("release of unheld lock %s" % self.name)
+        self.holder = None
+        self._yield("op")
+
+    def locked(self):
+        return self.holder is not None
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.release()
+        return False
+
+
+class SimRWLock:
+    """A DRAM reader-writer lock (write-preferring, spin-based)."""
+
+    def __init__(self, scheduler, name="rwlock"):
+        self.scheduler = scheduler
+        self.name = name
+        self.readers = 0
+        self.writer = None
+
+    def acquire_read(self):
+        while self.writer is not None:
+            self.scheduler.yield_point("spin", "rdlock:%s" % self.name)
+        self.readers += 1
+        self.scheduler.yield_point("op")
+
+    def release_read(self):
+        if self.readers <= 0:
+            raise RuntimeError("release_read without readers on %s" % self.name)
+        self.readers -= 1
+        self.scheduler.yield_point("op")
+
+    def acquire_write(self):
+        me = self.scheduler.current()
+        while self.writer is not None or self.readers > 0:
+            self.scheduler.yield_point("spin", "wrlock:%s" % self.name)
+        self.writer = me
+        self.scheduler.yield_point("op")
+
+    def release_write(self):
+        if self.writer is None:
+            raise RuntimeError("release_write of unheld %s" % self.name)
+        self.writer = None
+        self.scheduler.yield_point("op")

@@ -1,0 +1,70 @@
+"""Simulated threads managed by the cooperative scheduler."""
+
+import enum
+import threading
+
+
+class ThreadState(enum.Enum):
+    NEW = "new"
+    READY = "ready"
+    DONE = "done"
+
+
+class ThreadKilled(BaseException):
+    """Raised inside a simulated thread when the scheduler aborts the run.
+
+    Derives from ``BaseException`` so target code catching ``Exception``
+    cannot swallow it.
+    """
+
+
+class SimThread:
+    """One simulated thread: a real OS thread gated by the scheduler.
+
+    Attributes:
+        tid: Small integer thread id (0-based), used by checkers as the
+            writer/reader identity.
+        name: Human-readable name for reports.
+        sleep_steps: Scheduling rounds to skip (used by delay injection).
+        spin_streak: Consecutive ``spin``-kind yields; feeds hang detection.
+        bypass_sync: Figure 6's privileged-thread flag.
+        blocked_reason: Why the thread is currently spinning, for reports.
+    """
+
+    def __init__(self, scheduler, tid, fn, name=None):
+        self.scheduler = scheduler
+        self.tid = tid
+        self.fn = fn
+        self.name = name or ("thread-%d" % tid)
+        self.state = ThreadState.NEW
+        self.error = None
+        self.sleep_steps = 0
+        self.spin_streak = 0
+        self.bypass_sync = False
+        self.blocked_reason = None
+        self.steps = 0
+        self._os_thread = threading.Thread(
+            target=self._bootstrap, name=self.name, daemon=True
+        )
+
+    def start(self):
+        self.state = ThreadState.READY
+        self._os_thread.start()
+
+    def join(self, timeout=None):
+        self._os_thread.join(timeout)
+
+    def _bootstrap(self):
+        sched = self.scheduler
+        sched._enter_thread(self)
+        try:
+            self.fn()
+        except ThreadKilled:
+            pass
+        except BaseException as exc:  # noqa: BLE001 - reported to the driver
+            self.error = exc
+        finally:
+            sched._exit_thread(self)
+
+    def __repr__(self):
+        return "<SimThread %s state=%s>" % (self.name, self.state.value)

@@ -1,0 +1,26 @@
+"""Concurrent PM systems under test (Table 1)."""
+
+from .base import OperationSpace, Target, TargetState, raw_view
+from .cceh import CcehTarget
+from .clevel import ClevelTarget
+from .fastfair import FastFairTarget
+from .memcached import MemcachedOperationSpace, MemcachedTarget
+from .pclht import PclhtTarget
+from .registry import TARGET_CLASSES, make_target, table1_rows, target_names
+
+__all__ = [
+    "Target",
+    "TargetState",
+    "OperationSpace",
+    "raw_view",
+    "PclhtTarget",
+    "ClevelTarget",
+    "CcehTarget",
+    "FastFairTarget",
+    "MemcachedTarget",
+    "MemcachedOperationSpace",
+    "TARGET_CLASSES",
+    "make_target",
+    "target_names",
+    "table1_rows",
+]

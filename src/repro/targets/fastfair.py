@@ -1,0 +1,342 @@
+"""FAST-FAIR: a failure-atomic byte-addressable B+-tree, with bug 8.
+
+Following the FAST'18 design (simplified): fixed-capacity nodes with
+in-node shifting on insert (FAST) and sibling pointers that make in-flight
+splits tolerable to readers (FAIR). Readers are lock-free and tolerate
+transient states; writers take per-node DRAM latches (FAST-FAIR persists
+no locks, hence no sync-var annotations — matching Table 3).
+
+Seeded bug (Table 2, bug 8):
+
+8. **Inter** — a split creates the sibling and *stores* the left node's
+   sibling pointer without an immediate flush (``btree.h:560`` analog); a
+   concurrent insert moves right through the dirty pointer
+   (``btree.h:876``) and writes its entry into the sibling → if the crash
+   hits before the pointer is flushed, the sibling (and the new entry) is
+   unreachable: data loss.
+
+The in-node shifting deliberately leaves short dirty windows on entries —
+the *endurable transient inconsistency* FAST-FAIR is named for — which is
+why this target produces by far the most inconsistency candidates in the
+paper (179) while contributing a single unique bug.
+"""
+
+from ..pmdk.pool import PmemObjPool
+from ..runtime.sync import SimLock
+from .base import OperationSpace, Target, TargetState, raw_view
+
+R_ROOT = 0
+R_HEIGHT = 8
+ROOT_SIZE = 64
+
+N_NUM = 0
+N_IS_LEAF = 8
+N_SIBLING = 16
+N_HDR = 64
+CARD = 8                         # entries per node
+ENTRY = 16                       # key u64 + value/child u64
+NODE_SIZE = N_HDR + CARD * ENTRY
+
+MAX_HEIGHT = 6
+
+
+class FastFairInstance:
+    """Per-campaign runtime state of one FAST-FAIR pool."""
+
+    def __init__(self, target, state, view, scheduler):
+        self.target = target
+        self.state = state
+        self.view = view
+        self.scheduler = scheduler
+        self.objpool = state.extras["objpool"]
+        self.root = state.extras["root"]
+        self._latches = {}
+
+    # ------------------------------------------------------------------
+    # helpers
+
+    def _latch(self, node):
+        node = int(node)
+        latch = self._latches.get(node)
+        if latch is None:
+            latch = SimLock(self.scheduler, "node-%#x" % node)
+            self._latches[node] = latch
+        return latch
+
+    def _alloc_node(self, is_leaf):
+        node = self.objpool.allocator.alloc(NODE_SIZE)
+        view = self.view
+        view.ntstore_u64(node + N_NUM, 0)
+        view.ntstore_u64(node + N_IS_LEAF, 1 if is_leaf else 0)
+        view.ntstore_u64(node + N_SIBLING, 0)
+        view.ntstore_bytes(node + N_HDR, b"\x00" * (CARD * ENTRY))
+        view.sfence()
+        return node
+
+    def _entry(self, node, index):
+        return node + N_HDR + index * ENTRY
+
+    def _keys(self, node):
+        view = self.view
+        num = int(view.load_u64(int(node) + N_NUM))
+        return [view.load_u64(self._entry(node, i))
+                for i in range(min(num, CARD))]
+
+    # ------------------------------------------------------------------
+    # traversal
+
+    def _move_right(self, node, key):
+        """B-link move: follow the sibling while key exceeds our range."""
+        view = self.view
+        while True:
+            sibling = view.load_u64(int(node) + N_SIBLING)  # btree.h:876
+            num = int(view.load_u64(int(node) + N_NUM))
+            if int(sibling) == 0 or num == 0:
+                return node
+            last_key = view.load_u64(self._entry(node, min(num, CARD) - 1))
+            if int(key) > int(last_key):
+                node = sibling
+            else:
+                return node
+
+    def _find_leaf(self, key):
+        view = self.view
+        node = view.load_u64(self.root + R_ROOT)
+        for _depth in range(MAX_HEIGHT + 2):
+            node = self._move_right(node, key)
+            if int(view.load_u64(int(node) + N_IS_LEAF)):
+                return node
+            num = int(view.load_u64(int(node) + N_NUM))
+            child = view.load_u64(self._entry(node, 0) + 8)
+            for index in range(min(num, CARD)):
+                entry_key = view.load_u64(self._entry(node, index))
+                if int(key) >= int(entry_key):
+                    child = view.load_u64(self._entry(node, index) + 8)
+                else:
+                    break
+            if int(child) == 0:
+                return node
+            node = child
+        return node
+
+    # ------------------------------------------------------------------
+    # operations
+
+    def insert(self, key, value):
+        view = self.view
+        for _retry in range(4):
+            leaf = self._find_leaf(key)
+            latch = self._latch(leaf)
+            latch.acquire()
+            try:
+                leaf2 = self._move_right(leaf, key)
+                if int(leaf2) != int(leaf):
+                    continue
+                num = int(view.load_u64(int(leaf) + N_NUM))
+                # overwrite in place when present
+                for index in range(min(num, CARD)):
+                    if int(view.load_u64(self._entry(leaf, index))) == key:
+                        vaddr = self._entry(leaf, index) + 8
+                        view.store_u64(vaddr, value)
+                        view.persist(vaddr, 8)
+                        return True
+                if num >= CARD:
+                    self._split_leaf(leaf)
+                    continue
+                # FAST: shift entries right with cached stores — the
+                # endurable transient window readers must tolerate.
+                pos = num
+                for index in range(num - 1, -1, -1):
+                    entry_key = view.load_u64(self._entry(leaf, index))
+                    if int(entry_key) > key:
+                        view.store_u64(self._entry(leaf, index + 1),
+                                       entry_key)
+                        view.store_u64(
+                            self._entry(leaf, index + 1) + 8,
+                            view.load_u64(self._entry(leaf, index) + 8))
+                        pos = index
+                    else:
+                        break
+                view.store_u64(self._entry(leaf, pos) + 8, value)
+                view.store_u64(self._entry(leaf, pos), key)
+                view.persist(self._entry(leaf, 0), (num + 1) * ENTRY)
+                view.store_u64(int(leaf) + N_NUM, num + 1)
+                view.persist(int(leaf) + N_NUM, 8)
+                return True
+            finally:
+                latch.release()
+        return False
+
+    def search(self, key):
+        """Lock-free lookup; tolerates transient shift states."""
+        view = self.view
+        leaf = self._find_leaf(key)
+        num = int(view.load_u64(int(leaf) + N_NUM))
+        for index in range(min(num, CARD)):
+            if int(view.load_u64(self._entry(leaf, index))) == key:
+                return int(view.load_u64(self._entry(leaf, index) + 8))
+        return None
+
+    def delete(self, key):
+        view = self.view
+        leaf = self._find_leaf(key)
+        latch = self._latch(leaf)
+        with latch:
+            num = int(view.load_u64(int(leaf) + N_NUM))
+            for index in range(min(num, CARD)):
+                if int(view.load_u64(self._entry(leaf, index))) == key:
+                    for j in range(index, num - 1):
+                        view.store_u64(
+                            self._entry(leaf, j),
+                            view.load_u64(self._entry(leaf, j + 1)))
+                        view.store_u64(
+                            self._entry(leaf, j) + 8,
+                            view.load_u64(self._entry(leaf, j + 1) + 8))
+                    view.persist(self._entry(leaf, 0), num * ENTRY)
+                    view.store_u64(int(leaf) + N_NUM, num - 1)
+                    view.persist(int(leaf) + N_NUM, 8)
+                    return True
+        return False
+
+    # ------------------------------------------------------------------
+    # split (bug 8 lives here)
+
+    def _split_leaf(self, leaf):
+        view = self.view
+        leaf = int(leaf)
+        num = int(view.load_u64(leaf + N_NUM))
+        half = num // 2
+        sibling = self._alloc_node(is_leaf=True)
+        entries = [(int(view.load_u64(self._entry(leaf, i))),
+                    int(view.load_u64(self._entry(leaf, i) + 8)))
+                   for i in range(num)]
+        for j, (k, v) in enumerate(entries[half:]):
+            view.ntstore_u64(self._entry(sibling, j), k)
+            view.ntstore_u64(self._entry(sibling, j) + 8, v)
+        view.ntstore_u64(sibling + N_NUM, num - half)
+        view.ntstore_u64(sibling + N_SIBLING,
+                         int(view.load_u64(leaf + N_SIBLING)))
+        view.sfence()
+        # Bug 8 write site (btree.h:560 analog): the left node's sibling
+        # pointer is stored, but its CLWB is issued only after the whole
+        # parent update completes — a concurrent inserter's move-right
+        # read (btree.h:876) falls into this long window.
+        view.store_u64(leaf + N_SIBLING, sibling)
+        view.store_u64(leaf + N_NUM, half)
+        view.persist(leaf + N_NUM, 8)
+        split_key = entries[half][0]
+        self._insert_parent(leaf, split_key, sibling)
+        view.persist(leaf + N_SIBLING, 8)
+
+    def _insert_parent(self, left, split_key, right):
+        """Install the separator in the parent (correct, non-temporal)."""
+        view = self.view
+        root_node = int(view.load_u64(self.root + R_ROOT))
+        if root_node == int(left):
+            new_root = self._alloc_node(is_leaf=False)
+            view.ntstore_u64(self._entry(new_root, 0), 0)
+            view.ntstore_u64(self._entry(new_root, 0) + 8, int(left))
+            view.ntstore_u64(self._entry(new_root, 1), split_key)
+            view.ntstore_u64(self._entry(new_root, 1) + 8, int(right))
+            view.ntstore_u64(new_root + N_NUM, 2)
+            view.sfence()
+            view.ntstore_u64(self.root + R_ROOT, new_root)
+            view.sfence()
+            return
+        parent = self._find_parent(root_node, int(left))
+        if parent is None:
+            return
+        latch = self._latch(parent)
+        with latch:
+            num = int(view.load_u64(parent + N_NUM))
+            if num >= CARD:
+                return  # bounded trees in fuzz workloads never overflow
+            pos = num
+            for index in range(num - 1, -1, -1):
+                entry_key = int(view.load_u64(self._entry(parent, index)))
+                if entry_key > split_key:
+                    view.ntstore_u64(
+                        self._entry(parent, index + 1), entry_key)
+                    view.ntstore_u64(
+                        self._entry(parent, index + 1) + 8,
+                        int(view.load_u64(self._entry(parent, index) + 8)))
+                    pos = index
+                else:
+                    break
+            view.ntstore_u64(self._entry(parent, pos), split_key)
+            view.ntstore_u64(self._entry(parent, pos) + 8, int(right))
+            view.sfence()
+            view.ntstore_u64(parent + N_NUM, num + 1)
+            view.sfence()
+
+    def _find_parent(self, node, child):
+        view = self.view
+        if int(view.load_u64(node + N_IS_LEAF)):
+            return None
+        num = int(view.load_u64(node + N_NUM))
+        children = [int(view.load_u64(self._entry(node, i) + 8))
+                    for i in range(min(num, CARD))]
+        if child in children:
+            return node
+        for nxt in children:
+            if nxt:
+                found = self._find_parent(nxt, child)
+                if found is not None:
+                    return found
+        return None
+
+
+class FastFairTarget(Target):
+    """Table 1 row: FAST-FAIR, version 0f047e8, B+-Tree, lock-based."""
+
+    NAME = "FAST-FAIR"
+    VERSION = "0f047e8"
+    SCOPE = "B+-Tree"
+    CONCURRENCY = "Lock-based"
+    POOL_SIZE = 1 << 20
+
+    def operation_space(self):
+        space = OperationSpace()
+        space.kinds = ("put", "get", "delete")
+        space.key_range = 48
+        return space
+
+    def setup(self):
+        objpool = PmemObjPool.create("fastfair", self.POOL_SIZE)
+        root = objpool.root(ROOT_SIZE)
+        view = raw_view(objpool.pool)
+        state = TargetState(objpool.pool, allocators=[objpool.allocator],
+                            extras={"objpool": objpool, "root": root})
+        instance = FastFairInstance(self, state, view, None)
+        first_leaf = instance._alloc_node(is_leaf=True)
+        view.ntstore_u64(root + R_ROOT, first_leaf)
+        view.sfence()
+        objpool.pool.memory.persist_all()
+        return state
+
+    def open(self, state, view, scheduler):
+        return FastFairInstance(self, state, view, scheduler)
+
+    def exec_op(self, instance, view, op):
+        kind = op.get("op")
+        key = op.get("key", 0) + 1  # keys are 1-based (0 = empty child)
+        if kind == "put":
+            return instance.insert(key, op.get("value", 0))
+        if kind == "get":
+            instance.search(key)
+            return True
+        if kind == "delete":
+            return instance.delete(key)
+        return False
+
+    # ------------------------------------------------------------------
+    # recovery: FAST-FAIR repairs lazily on future accesses, so the
+    # immediate recovery stage writes (almost) nothing — exactly why its
+    # inconsistencies slip past post-failure validation (§4.4).
+
+    def recover(self, pool, view):
+        objpool = PmemObjPool.attach(pool, view)
+        root = pool.read_u64(8)  # OFF_ROOT
+        pool.read_u64(root + R_ROOT)
+        self._recovered = (objpool, root)
+        return self

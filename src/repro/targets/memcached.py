@@ -1,0 +1,512 @@
+"""memcached-pmem: Lenovo's PM port of memcached, with bugs 9-14.
+
+The port persists the slab storage (items, including their LRU ``next``/
+``prev`` links) in PM via ``pmem_map_file`` (libpmem — no pool-object
+initialization, which is why in-memory checkpoints do not help it,
+Figure 10), keeps the hash index in DRAM, and rebuilds index + LRU from
+the slabs on restart. Item values carry checksums.
+
+Its persistence discipline is deliberately sloppy in the same places the
+paper (and PMDebugger before it) found missing flushes — value writes and
+LRU link updates stay in the cache — which yields two classes of
+inter-thread inconsistencies:
+
+* **Benign** (the 62 validated FPs of Table 3): flows into ``next``/
+  ``prev``/LRU-head fields. Recovery's index rebuild rewrites every live
+  item's links, so post-failure validation sees the side effects
+  overwritten.
+* **Bugs 9-14**: flows into item *values* (append/prepend/incr read a
+  non-persisted value and write a value derived from it — bugs 9/10),
+  ``it_flags`` (bug 12/13) and ``slabs_clsid`` (bugs 11/14), none of
+  which the rebuild touches.
+
+The driver speaks (a single-line variant of) the memcached text protocol;
+its parser is the Table 4 workload: the AFL-style byte mutator feeds it
+~1/3 invalid commands while the operation mutator always parses.
+"""
+
+from ..instrument.taint import taint_of, with_taint
+from ..pmdk.pool import pmem_map_file
+from ..runtime.sync import SimLock
+from .base import OperationSpace, Target, TargetState
+
+H_MAGIC = 0
+H_LRU_HEAD = 8
+H_LRU_TAIL = 16
+HDR_SIZE = 64
+MAGIC = 0x4D454D43           # "MEMC"
+
+IT_NEXT = 0
+IT_PREV = 8
+IT_CLSID = 16
+IT_FLAGS = 24
+IT_NKEY = 32
+IT_NBYTES = 40
+IT_CSUM = 48
+IT_KEY = 56
+IT_VALUE = 64
+VALUE_CAP = 56
+ITEM_SIZE = 128
+
+NUM_SLOTS = 16
+SLAB_START = HDR_SIZE
+
+FLAG_LINKED = 1
+FLAG_FETCHED = 2
+
+LOCK_STRIPES = 8
+
+
+def _checksum(data):
+    return sum(data) & 0xFFFFFFFF
+
+
+def _key_word(key):
+    return key + 1
+
+
+class MemcachedOperationSpace(OperationSpace):
+    """The memcached text protocol (single-line simplified form)."""
+
+    kinds = ("get", "bget", "set", "add", "replace", "append", "prepend",
+             "incr", "decr", "delete")
+    insert_kind = "set"
+    key_range = 24
+    value_range = 10_000
+
+    def random_op(self, rng, near_key=None):
+        kind = rng.choice(self.kinds)
+        op = {"op": kind, "key": self.random_key(rng, near_key)}
+        if kind in ("set", "add", "replace", "append", "prepend"):
+            op["value"] = rng.randrange(self.value_range)
+        elif kind in ("incr", "decr"):
+            op["value"] = rng.randrange(1, 100)
+        return op
+
+    def mutate_op(self, op, rng):
+        mutated = dict(op)
+        if "value" in mutated and rng.random() < 0.5:
+            mutated["value"] = rng.randrange(self.value_range)
+        else:
+            mutated["key"] = self.random_key(rng, mutated.get("key"))
+        return mutated
+
+    # ------------------------------------------------------------------
+    # text protocol
+
+    def serialize(self, ops):
+        lines = []
+        for op in ops:
+            kind = op["op"]
+            key = "key%d" % op["key"]
+            if kind in ("set", "add", "replace", "append", "prepend"):
+                payload = str(op["value"])
+                lines.append("%s %s 0 0 %d %s" % (kind, key, len(payload),
+                                                  payload))
+            elif kind in ("incr", "decr"):
+                lines.append("%s %s %d" % (kind, key, op["value"]))
+            else:
+                lines.append("%s %s" % (kind, key))
+        return ("\r\n".join(lines) + "\r\n").encode()
+
+    def parse_line(self, line):
+        parts = line.split()
+        if not parts:
+            return None
+        kind = parts[0]
+        if kind not in self.kinds:
+            return None
+        if len(parts) < 2 or not parts[1].startswith("key"):
+            return None
+        try:
+            key = int(parts[1][3:])
+        except ValueError:
+            return None
+        if key < 0:
+            return None
+        op = {"op": kind, "key": key % self.key_range}
+        if kind in ("set", "add", "replace", "append", "prepend"):
+            if len(parts) != 6:
+                return None
+            try:
+                flags, exptime, nbytes = (int(parts[2]), int(parts[3]),
+                                          int(parts[4]))
+                value = int(parts[5])
+            except ValueError:
+                return None
+            if nbytes != len(parts[5]) or flags != 0 or exptime != 0:
+                return None
+            op["value"] = value
+        elif kind in ("incr", "decr"):
+            if len(parts) != 3:
+                return None
+            try:
+                op["value"] = int(parts[2])
+            except ValueError:
+                return None
+            if op["value"] <= 0:
+                return None
+        elif len(parts) != 2:
+            return None
+        return op
+
+
+class MemcachedInstance:
+    """Per-campaign runtime state: DRAM index, free list, striped locks."""
+
+    def __init__(self, target, state, view, scheduler):
+        self.target = target
+        self.state = state
+        self.view = view
+        self.scheduler = scheduler
+        self.pool = state.pool
+        self.index = {}
+        self.free = list(range(NUM_SLOTS))
+        self.locks = [SimLock(scheduler, "stripe-%d" % i)
+                      for i in range(LOCK_STRIPES)] if scheduler else None
+        self.current_command = None
+        self.stats = {"cmd_errors": 0}
+        self._rebuild_from_slabs()
+
+    # ------------------------------------------------------------------
+    # bootstrap
+
+    def _slot_addr(self, slot):
+        return SLAB_START + slot * ITEM_SIZE
+
+    def _rebuild_from_slabs(self):
+        """DRAM index/free-list bootstrap from persisted slabs (raw)."""
+        for slot in range(NUM_SLOTS):
+            addr = self._slot_addr(slot)
+            flags = self.pool.read_u64(addr + IT_FLAGS)
+            if flags & FLAG_LINKED:
+                key = self.pool.read_u64(addr + IT_KEY) - 1
+                self.index[key] = addr
+                if slot in self.free:
+                    self.free.remove(slot)
+
+    def _lock(self, key):
+        if self.locks is None:
+            return None
+        return self.locks[key % LOCK_STRIPES]
+
+    # ------------------------------------------------------------------
+    # value helpers (bug sites live here)
+
+    def _read_value(self, item):
+        view = self.view
+        nbytes = int(view.load_u64(item + IT_NBYTES))
+        nbytes = max(0, min(nbytes, VALUE_CAP))
+        return view.load_bytes(item + IT_VALUE, nbytes)  # memcached.c:2805
+
+    def _write_value(self, item, data, flush=False):
+        """Store a value + checksum. memcached-pmem misses the flush on
+        the value bytes (the root cause behind bugs 9/10/13)."""
+        view = self.view
+        data = data[:VALUE_CAP]
+        view.store_bytes(item + IT_VALUE, data)          # memcached.c:4292
+        view.store_u64(item + IT_NBYTES, len(data))      # memcached.c:4293
+        view.store_u64(item + IT_CSUM, _checksum(bytes(data)))
+        if flush:
+            view.persist(item + IT_VALUE, VALUE_CAP)
+        view.persist(item + IT_NBYTES, 16)
+
+    def _verify_checksum(self, item):
+        """Checksum-verified read — crash-consistent, whitelisted (§4.4)."""
+        view = self.view
+        value = self._read_value(item)
+        stored = int(view.load_u64(item + IT_CSUM))
+        return _checksum(bytes(value)) == stored
+
+    # ------------------------------------------------------------------
+    # LRU maintenance (the validated-FP factory)
+
+    def _set_next(self, item, value):
+        """All ``next`` updates (items.c:423's memcpy) — left unflushed."""
+        self.view.store_u64(int(item) + IT_NEXT, value)
+
+    def _set_prev(self, item, value):
+        """All ``prev`` updates (slabs.c:549's memcpy) — left unflushed."""
+        self.view.store_u64(int(item) + IT_PREV, value)
+
+    def _lru_unlink(self, item):
+        view = self.view
+        nxt = view.load_u64(item + IT_NEXT)              # slabs.c:412
+        prv = view.load_u64(item + IT_PREV)              # items.c:464
+        if int(prv):
+            self._set_next(prv, nxt)
+        else:
+            view.store_u64(H_LRU_HEAD, nxt)
+        if int(nxt):
+            self._set_prev(nxt, prv)
+        else:
+            view.store_u64(H_LRU_TAIL, prv)
+
+    def _lru_link_head(self, item):
+        view = self.view
+        head = view.load_u64(H_LRU_HEAD)
+        self._set_next(item, head)
+        self._set_prev(item, 0)
+        if int(head):
+            self._set_prev(head, item)
+        else:
+            view.store_u64(H_LRU_TAIL, item)
+        view.store_u64(H_LRU_HEAD, item)
+
+    def _lru_bump(self, item):
+        self._lru_unlink(item)
+        self._lru_link_head(item)
+
+    # ------------------------------------------------------------------
+    # allocation / eviction
+
+    def _alloc_item(self, key, data):
+        view = self.view
+        if self.free:
+            slot = self.free.pop()
+            addr = self._slot_addr(slot)
+        else:
+            addr = self._evict_tail()
+            if addr is None:
+                return None
+        # Slab-class reuse: a recycled slot keeps its class when the new
+        # value fits; the previous class id may be non-persisted (the
+        # unflushed store in _evict_tail) — bug 14's read side.
+        old_clsid = view.load_u64(addr + IT_CLSID)
+        wanted = 1 if len(data) <= 16 else 2
+        clsid = (old_clsid & 0xFF) if int(old_clsid) & 0xFF else wanted
+        view.store_u64(addr + IT_CLSID, clsid)
+        view.store_u64(addr + IT_KEY, _key_word(key))
+        view.store_u64(addr + IT_NKEY, 8)
+        # The initial store path persists the value correctly; only the
+        # in-place update paths (append/prepend/incr) miss the flush.
+        self._write_value(addr, data, flush=True)
+        view.store_u64(addr + IT_FLAGS, FLAG_LINKED)
+        view.persist(addr, IT_VALUE)
+        return addr
+
+    def _evict_tail(self):
+        view = self.view
+        tail = view.load_u64(H_LRU_TAIL)
+        if not int(tail):
+            return None
+        # Bug 11's shape (items.c:423/:464): the victim's (possibly
+        # non-persisted) LRU links are read and flow into durable
+        # bookkeeping inside _lru_unlink.
+        self._lru_unlink(tail)
+        old_key = self.pool.read_u64(int(tail) + IT_KEY) - 1
+        self.index.pop(old_key, None)
+        # Bug 14's shape (items.c:627/:623): the old (possibly
+        # non-persisted) slabs_clsid feeds the freed-slot class marker,
+        # and the store itself is left unflushed.
+        old_clsid = view.load_u64(int(tail) + IT_CLSID)
+        view.store_u64(int(tail) + IT_CLSID, (old_clsid & 0xFF) | 0x100)
+        view.store_u64(int(tail) + IT_FLAGS, 0)
+        view.persist(int(tail) + IT_FLAGS, 8)
+        return int(tail)
+
+    # ------------------------------------------------------------------
+    # commands
+
+    def cmd_get(self, key, bump=True):
+        item = self.index.get(key)
+        if item is None:
+            return None
+        view = self.view
+        if not self._verify_checksum(item):
+            return None
+        value = self._read_value(item)
+        if bump:
+            lock = self._lock(key)
+            if lock:
+                lock.acquire()
+            try:
+                self._lru_bump(item)
+                # Bug 13's shape (items.c:1096/memcached.c:2824): the
+                # fetched-flag/fetch-count update derives from a possibly
+                # non-persisted it_flags read; never flushed nor rebuilt.
+                flags = view.load_u64(item + IT_FLAGS)
+                view.store_u64(item + IT_FLAGS,
+                               (flags | FLAG_FETCHED) + (1 << 8))
+            finally:
+                if lock:
+                    lock.release()
+        return bytes(value)
+
+    def cmd_store(self, kind, key, data):
+        lock = self._lock(key)
+        if lock:
+            lock.acquire()
+        try:
+            item = self.index.get(key)
+            if kind == "add" and item is not None:
+                return False
+            if kind == "replace" and item is None:
+                return False
+            if kind in ("append", "prepend"):
+                if item is None:
+                    return False
+                # Bugs 9/10 (memcached.c:4292-4293 / :2805): the old
+                # value may be another thread's non-persisted write; the
+                # new value derives from it and is itself left unflushed.
+                old = self._read_value(item)
+                data = old + data if kind == "append" else data + old
+                data = bytes(data)[:VALUE_CAP] if not taint_of(data) \
+                    else data[:VALUE_CAP]
+                view = self.view
+                view.store_bytes(item + IT_VALUE, data)  # memcached.c:4292
+                view.store_u64(item + IT_NBYTES, len(data))
+                view.store_u64(item + IT_CSUM, _checksum(bytes(data)))
+                view.persist(item + IT_NBYTES, 16)
+                self._lru_bump(item)
+                return True
+            if item is not None:
+                self._write_value(item, data)
+                self._lru_bump(item)
+                return True
+            item = self._alloc_item(key, data)
+            if item is None:
+                return False
+            self._lru_link_head(item)
+            self.index[key] = item
+            return True
+        finally:
+            if lock:
+                lock.release()
+
+    def cmd_arith(self, key, delta, negate=False):
+        lock = self._lock(key)
+        if lock:
+            lock.acquire()
+        try:
+            item = self.index.get(key)
+            if item is None:
+                return None
+            old = self._read_value(item)
+            try:
+                number = int(bytes(old).decode() or "0")
+            except ValueError:
+                return None
+            number = number - delta if negate else number + delta
+            number = max(number, 0)
+            # DFSan tracks labels through the parse/format round-trip;
+            # re-attach the source labels the decode() stripped.
+            data = with_taint(str(number).encode(), taint_of(old))
+            view = self.view
+            view.store_bytes(item + IT_VALUE, data)      # incr/decr store
+            view.store_u64(item + IT_NBYTES, len(bytes(data)))
+            view.store_u64(item + IT_CSUM, _checksum(bytes(data)))
+            view.persist(item + IT_NBYTES, 16)
+            return number
+        finally:
+            if lock:
+                lock.release()
+
+    def cmd_delete(self, key):
+        lock = self._lock(key)
+        if lock:
+            lock.acquire()
+        try:
+            item = self.index.pop(key, None)
+            if item is None:
+                return False
+            view = self.view
+            self._lru_unlink(item)
+            view.store_u64(item + IT_FLAGS, 0)
+            view.persist(item + IT_FLAGS, 8)
+            self.free.append((item - SLAB_START) // ITEM_SIZE)
+            return True
+        finally:
+            if lock:
+                lock.release()
+
+    # ------------------------------------------------------------------
+    # text protocol entry point (the Table 4 surface)
+
+    def process_command(self, line):
+        """Parse and execute one protocol line; returns a response string."""
+        op = self.target.operation_space().parse_line(line)
+        if op is None:
+            self.stats["cmd_errors"] += 1
+            return "ERROR"
+        return self.dispatch(op)
+
+    def dispatch(self, op):
+        kind = op["op"]
+        self.current_command = kind
+        key = op["key"]
+        if kind in ("get", "bget"):
+            value = self.cmd_get(key, bump=(kind == "get"))
+            return "END" if value is None else "VALUE"
+        if kind in ("set", "add", "replace", "append", "prepend"):
+            ok = self.cmd_store(kind, key, str(op["value"]).encode())
+            return "STORED" if ok else "NOT_STORED"
+        if kind in ("incr", "decr"):
+            result = self.cmd_arith(key, op["value"], negate=(kind == "decr"))
+            return "NOT_FOUND" if result is None else str(result)
+        if kind == "delete":
+            return "DELETED" if self.cmd_delete(key) else "NOT_FOUND"
+        self.stats["cmd_errors"] += 1
+        return "ERROR"
+
+
+class MemcachedTarget(Target):
+    """Table 1 row: memcached-pmem, 8f121f6, key-value store, lock-based."""
+
+    NAME = "memcached-pmem"
+    VERSION = "8f121f6"
+    SCOPE = "Key-value store"
+    CONCURRENCY = "Lock-based"
+    POOL_SIZE = HDR_SIZE + NUM_SLOTS * ITEM_SIZE
+    USES_LIBPMEM = True
+
+    def operation_space(self):
+        return MemcachedOperationSpace()
+
+    def setup(self):
+        pool = pmem_map_file("memcached", self.POOL_SIZE)
+        mem = pool.memory
+        import struct
+        mem.store(H_MAGIC, struct.pack("<Q", MAGIC), None, "mc.setup",
+                  ntstore=True)
+        mem.persist_all()
+        return TargetState(pool)
+
+    def open(self, state, view, scheduler):
+        return MemcachedInstance(self, state, view, scheduler)
+
+    def exec_op(self, instance, view, op):
+        response = instance.dispatch(op)
+        return response != "ERROR"
+
+    # ------------------------------------------------------------------
+    # recovery: rebuild index and rewrite every live item's LRU links —
+    # this overwrite is what turns the next/prev inconsistencies into
+    # validated false positives (62 of them in Table 3).
+
+    def recover(self, pool, view):
+        live = []
+        for slot in range(NUM_SLOTS):
+            addr = SLAB_START + slot * ITEM_SIZE
+            flags = pool.read_u64(addr + IT_FLAGS)
+            if not flags & FLAG_LINKED:
+                continue
+            nbytes = min(pool.read_u64(addr + IT_NBYTES), VALUE_CAP)
+            value = pool.read_bytes(addr + IT_VALUE, nbytes)
+            stored = pool.read_u64(addr + IT_CSUM)
+            if _checksum(value) != stored:
+                continue  # torn value: drop the item (checksum guard)
+            live.append(addr)
+        prev = 0
+        for addr in live:
+            view.ntstore_u64(addr + IT_PREV, prev)
+            if prev:
+                view.ntstore_u64(prev + IT_NEXT, addr)
+            prev = addr
+        if live:
+            view.ntstore_u64(live[-1] + IT_NEXT, 0)
+        view.ntstore_u64(H_LRU_HEAD, live[0] if live else 0)
+        view.ntstore_u64(H_LRU_TAIL, live[-1] if live else 0)
+        view.sfence()
+        self._recovered = live
+        return self

@@ -1,0 +1,40 @@
+"""Target registry: name → factory, plus the Table 1 inventory."""
+
+from .cceh import CcehTarget
+from .clevel import ClevelTarget
+from .fastfair import FastFairTarget
+from .memcached import MemcachedTarget
+from .pclht import PclhtTarget
+
+#: All Table 1 systems in paper order.
+TARGET_CLASSES = (
+    PclhtTarget,
+    ClevelTarget,
+    CcehTarget,
+    FastFairTarget,
+    MemcachedTarget,
+)
+
+_BY_NAME = {cls.NAME: cls for cls in TARGET_CLASSES}
+
+
+def target_names():
+    return [cls.NAME for cls in TARGET_CLASSES]
+
+
+def make_target(name):
+    """Instantiate a target by its Table 1 name."""
+    try:
+        return _BY_NAME[name]()
+    except KeyError:
+        raise KeyError("unknown target %r; known: %s"
+                       % (name, ", ".join(target_names())))
+
+
+def table1_rows():
+    """The static Table 1 inventory (systems, version, scope, concurrency)."""
+    return [
+        {"system": cls.NAME, "version": cls.VERSION, "scope": cls.SCOPE,
+         "concurrency": cls.CONCURRENCY}
+        for cls in TARGET_CLASSES
+    ]

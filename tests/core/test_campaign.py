@@ -1,0 +1,78 @@
+"""run_campaign tests over the toy target."""
+
+import pytest
+
+from repro.core import run_campaign
+from repro.runtime import SeededRandomPolicy
+
+from .toy_target import ToyTarget
+
+
+def run_toy(ops_by_thread, seed=0, **kwargs):
+    target = ToyTarget()
+    state = target.setup()
+    policy = SeededRandomPolicy(seed)
+    return run_campaign(target, state, ops_by_thread, policy, **kwargs)
+
+
+BUMPY = [[{"op": "bump", "key": 0}] * 3 for _ in range(3)]
+
+
+class TestRunCampaign:
+    def test_completes(self):
+        result = run_toy(BUMPY)
+        assert result.outcome.ok
+        assert not result.hang
+
+    def test_detects_candidates_and_inconsistencies(self):
+        result = run_toy(BUMPY, seed=5)
+        assert result.checker.candidates
+        assert result.checker.inconsistencies
+
+    def test_collects_coverage(self):
+        result = run_toy(BUMPY)
+        assert result.branch_edges
+        assert result.profiler.profile
+
+    def test_alias_pairs_on_contention(self):
+        result = run_toy(BUMPY, seed=3)
+        assert result.alias_pairs
+
+    def test_op_errors_counted(self):
+        result = run_toy([[{"op": "nonsense", "key": 0}]])
+        assert result.op_errors == 1
+
+    def test_sync_inconsistency_recorded(self):
+        result = run_toy(BUMPY)
+        names = {r.annotation_name
+                 for r in result.checker.sync_inconsistencies}
+        assert names == {"toy_lock"}
+
+    def test_determinism(self):
+        a = run_toy(BUMPY, seed=11)
+        b = run_toy(BUMPY, seed=11)
+        assert len(a.checker.candidates) == len(b.checker.candidates)
+        assert a.branch_edges == b.branch_edges
+        assert a.alias_pairs == b.alias_pairs
+
+    def test_taint_can_be_disabled(self):
+        result = run_toy(BUMPY, seed=5, taint_enabled=False)
+        assert not result.checker.inconsistencies
+
+    def test_extra_observers(self):
+        from repro.instrument.events import Observer
+
+        class Counter(Observer):
+            count = 0
+
+            def on_store(self, event):
+                self.count += 1
+
+        counter = Counter()
+        run_toy(BUMPY, extra_observers=[counter])
+        assert counter.count > 0
+
+    def test_single_thread_no_inter(self):
+        result = run_toy([[{"op": "bump", "key": 0}] * 4])
+        assert not result.checker.inter_candidates
+        assert result.checker.intra_candidates

@@ -1,0 +1,57 @@
+"""In-memory checkpoint (state provider) tests."""
+
+import pytest
+
+from repro.core import make_state_provider
+from repro.core.checkpoints import StateProvider
+from repro.targets import MemcachedTarget, PclhtTarget
+
+from .toy_target import COUNTER, ToyTarget
+
+
+class TestStateProvider:
+    def test_checkpoint_setup_once(self):
+        provider = StateProvider(ToyTarget(), use_checkpoints=True)
+        for _ in range(4):
+            provider.provide()
+        assert provider.setup_count == 1
+        assert provider.restore_count == 3
+
+    def test_no_checkpoint_setup_each_time(self):
+        provider = StateProvider(ToyTarget(), use_checkpoints=False)
+        for _ in range(4):
+            provider.provide()
+        assert provider.setup_count == 4
+        assert provider.restore_count == 0
+
+    def test_restore_resets_pool(self):
+        provider = StateProvider(ToyTarget(), use_checkpoints=True)
+        state = provider.provide()
+        state.pool.write_u64(COUNTER, 99)
+        state = provider.provide()
+        assert state.pool.read_u64(COUNTER) == 0
+
+    def test_restore_resets_annotations(self):
+        provider = StateProvider(ToyTarget(), use_checkpoints=True)
+        state = provider.provide()
+        state.annotations.pm_sync_var_hint("extra", 8, 0)
+        state.annotations.register_instance("extra", 512)
+        state = provider.provide()
+        assert state.annotations.annotation_count == 1
+
+    def test_auto_mode_respects_libpmem(self):
+        assert make_state_provider(PclhtTarget()).use_checkpoints
+        assert not make_state_provider(MemcachedTarget()).use_checkpoints
+
+    def test_auto_mode_forced(self):
+        assert make_state_provider(MemcachedTarget(),
+                                   use_checkpoints=True).use_checkpoints
+
+    def test_restore_resets_allocator(self):
+        provider = StateProvider(PclhtTarget(), use_checkpoints=True)
+        state = provider.provide()
+        allocator = state.extras["objpool"].allocator
+        baseline = allocator.allocated_bytes
+        allocator.alloc(256)
+        state = provider.provide()
+        assert state.extras["objpool"].allocator.allocated_bytes == baseline

@@ -1,0 +1,70 @@
+"""CLI tests."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_targets_command(self):
+        args = build_parser().parse_args(["targets"])
+        assert args.command == "targets"
+
+    def test_fuzz_defaults(self):
+        args = build_parser().parse_args(["fuzz", "P-CLHT"])
+        assert args.target == "P-CLHT"
+        assert args.campaigns == 80
+        assert args.mode == "pmrace"
+        assert not args.eadr
+
+    def test_fuzz_options(self):
+        args = build_parser().parse_args(
+            ["fuzz", "CCEH", "--campaigns", "5", "--seeds", "1", "2",
+             "--mode", "delay", "--eadr", "--parallel", "2"])
+        assert args.campaigns == 5
+        assert args.seeds == [1, 2]
+        assert args.mode == "delay"
+        assert args.eadr and args.parallel == 2
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_targets_lists_all(self, capsys):
+        assert main(["targets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("P-CLHT", "CCEH", "FAST-FAIR", "memcached-pmem"):
+            assert name in out
+
+    def test_fuzz_unknown_target(self, capsys):
+        assert main(["fuzz", "redis"]) == 2
+        assert "unknown target" in capsys.readouterr().err
+
+    def test_fuzz_small_run(self, capsys, tmp_path):
+        report = tmp_path / "out.json"
+        code = main(["fuzz", "P-CLHT", "--campaigns", "10",
+                     "--seeds", "7", "--output", str(report)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "unique bugs" in out
+        payload = json.loads(report.read_text())
+        assert payload["target"] == "P-CLHT"
+        assert payload["campaigns"] == 10
+
+    def test_fuzz_eadr_flag(self, capsys):
+        assert main(["fuzz", "CCEH", "--campaigns", "6",
+                     "--seeds", "7", "--eadr"]) == 0
+        out = capsys.readouterr().out
+        assert "inter-thread candidates     : 0" in out
+
+    def test_fuzz_with_whitelist_file(self, capsys, tmp_path):
+        wl = tmp_path / "wl.txt"
+        wl.write_text("repro.targets.pclht:\n")  # whitelist everything
+        assert main(["fuzz", "P-CLHT", "--campaigns", "10", "--seeds",
+                     "7", "--whitelist", str(wl)]) == 0
+        out = capsys.readouterr().out
+        assert "campaigns" in out

@@ -1,0 +1,129 @@
+"""Coverage metric tests."""
+
+import pytest
+
+from repro.core import (
+    AliasCoverageCollector,
+    BranchCoverageCollector,
+    CoverageSet,
+)
+from repro.instrument.events import PmAccessEvent
+
+
+class FakeThread:
+    def __init__(self, tid):
+        self.tid = tid
+
+
+def load(addr, tid, instr, dirty=False):
+    return PmAccessEvent("load", addr, 8, 0, FakeThread(tid), instr,
+                         nonpersisted=("w",) if dirty else ())
+
+
+def store(addr, tid, instr, nt=False):
+    return PmAccessEvent("ntstore" if nt else "store", addr, 8, 0,
+                         FakeThread(tid), instr)
+
+
+class TestCoverageSet:
+    def test_add_new(self):
+        cov = CoverageSet()
+        assert cov.add("a")
+        assert not cov.add("a")
+        assert len(cov) == 1
+
+    def test_merge_counts_new(self):
+        cov = CoverageSet()
+        cov.add("a")
+        assert cov.merge({"a", "b", "c"}) == 2
+        assert len(cov) == 3
+
+    def test_merge_coverage_set(self):
+        a, b = CoverageSet(), CoverageSet()
+        a.add("x")
+        b.add("x")
+        b.add("y")
+        assert a.merge(b) == 1
+
+    def test_contains(self):
+        cov = CoverageSet()
+        cov.add("z")
+        assert "z" in cov
+
+
+class TestBranchCoverage:
+    def test_edges_per_thread(self):
+        collector = BranchCoverageCollector()
+        collector.on_load(load(0, 0, "i1"))
+        collector.on_load(load(8, 0, "i2"))
+        assert ("i1", "i2") in collector.edges
+
+    def test_first_event_edge_from_none(self):
+        collector = BranchCoverageCollector()
+        collector.on_load(load(0, 0, "i1"))
+        assert (None, "i1") in collector.edges
+
+    def test_threads_tracked_separately(self):
+        collector = BranchCoverageCollector()
+        collector.on_load(load(0, 0, "i1"))
+        collector.on_load(load(0, 1, "i9"))
+        collector.on_load(load(8, 0, "i2"))
+        assert ("i1", "i2") in collector.edges
+        assert ("i9", "i2") not in collector.edges
+
+    def test_all_event_kinds_counted(self):
+        collector = BranchCoverageCollector()
+        collector.on_store(store(0, 0, "s"))
+        collector.on_flush(PmAccessEvent("clwb", 0, 0, None,
+                                         FakeThread(0), "f"))
+        collector.on_fence(PmAccessEvent("sfence", None, 0, None,
+                                         FakeThread(0), "fe"))
+        assert ("s", "f") in collector.edges
+        assert ("f", "fe") in collector.edges
+
+
+class TestAliasCoverage:
+    def test_cross_thread_pair(self):
+        collector = AliasCoverageCollector()
+        collector.on_store(store(64, 0, "w"))
+        collector.on_load(load(64, 1, "r", dirty=True))
+        assert ("w", "D", "r", "D") in collector.pairs
+
+    def test_same_thread_no_pair(self):
+        collector = AliasCoverageCollector()
+        collector.on_store(store(64, 0, "w"))
+        collector.on_load(load(64, 0, "r"))
+        assert not collector.pairs
+
+    def test_different_address_no_pair(self):
+        collector = AliasCoverageCollector()
+        collector.on_store(store(64, 0, "w"))
+        collector.on_load(load(128, 1, "r"))
+        assert not collector.pairs
+
+    def test_persistency_state_distinguishes(self):
+        clean = AliasCoverageCollector()
+        clean.on_store(store(64, 0, "w", nt=True))
+        clean.on_load(load(64, 1, "r", dirty=False))
+        dirty = AliasCoverageCollector()
+        dirty.on_store(store(64, 0, "w"))
+        dirty.on_load(load(64, 1, "r", dirty=True))
+        assert clean.pairs != dirty.pairs
+
+    def test_back_to_back_only(self):
+        collector = AliasCoverageCollector()
+        collector.on_store(store(64, 0, "w"))
+        collector.on_load(load(64, 0, "mine"))   # interposes, same thread
+        collector.on_load(load(64, 1, "r"))
+        # the pair recorded is (mine -> r), not (w -> r)
+        assert ("mine", "C", "r", "C") in collector.pairs
+        assert all(pair[0] != "w" for pair in collector.pairs)
+
+    def test_thread_ids_normalized_out(self):
+        a = AliasCoverageCollector()
+        a.on_store(store(64, 0, "w"))
+        a.on_load(load(64, 1, "r", dirty=True))
+        b = AliasCoverageCollector()
+        b.on_store(store(64, 3, "w"))
+        b.on_load(load(64, 2, "r", dirty=True))
+        assert a.pairs == b.pairs

@@ -1,0 +1,177 @@
+"""Input generator tests: operation mutator strategies + AFL byte mutator."""
+
+import random
+
+import pytest
+
+from repro.core import AflByteMutator, OperationMutator, Seed
+from repro.targets import OperationSpace
+from repro.targets.memcached import MemcachedOperationSpace
+
+
+@pytest.fixture
+def mutator():
+    return OperationMutator(OperationSpace(), n_threads=4, ops_per_thread=5,
+                            rng=random.Random(1))
+
+
+class TestSeeds:
+    def test_initial_seed_shape(self, mutator):
+        seed = mutator.initial_seed()
+        assert len(seed.threads) == 4
+        assert all(len(ops) == 5 for ops in seed.threads)
+        assert seed.op_count == 20
+
+    def test_ops_valid(self, mutator):
+        for op in mutator.initial_seed().flat_ops():
+            assert op["op"] in OperationSpace.kinds
+            assert 0 <= op["key"] < OperationSpace.key_range
+
+    def test_populate_insert_heavy(self, mutator):
+        seed = mutator.populate_seed()
+        ops = seed.flat_ops()
+        assert all(op["op"] == "put" for op in ops)
+        assert seed.op_count == 4 * 5 * 3
+
+    def test_seed_ids_unique(self, mutator):
+        a = mutator.initial_seed()
+        b = mutator.initial_seed()
+        assert a.seed_id != b.seed_id
+
+    def test_determinism(self):
+        space = OperationSpace()
+        a = OperationMutator(space, rng=random.Random(7)).initial_seed()
+        b = OperationMutator(space, rng=random.Random(7)).initial_seed()
+        assert a.threads == b.threads
+
+
+class TestStrategies:
+    def test_mutate_changes_one_op(self, mutator):
+        seed = mutator.initial_seed()
+        mutated = mutator.mutate(seed)
+        assert mutated.op_count == seed.op_count
+        diffs = sum(1 for a, b in zip(seed.flat_ops(), mutated.flat_ops())
+                    if a != b)
+        assert diffs <= 1
+        assert mutated.parent == seed.seed_id
+
+    def test_add_increases_count(self, mutator):
+        seed = mutator.initial_seed()
+        assert mutator.add(seed).op_count == seed.op_count + 1
+
+    def test_delete_decreases_count(self, mutator):
+        seed = mutator.initial_seed()
+        assert mutator.delete(seed).op_count == seed.op_count - 1
+
+    def test_delete_empty_seed(self, mutator):
+        empty = Seed([[] for _ in range(4)])
+        assert mutator.delete(empty).op_count == 0
+
+    def test_shuffle_preserves_multiset(self, mutator):
+        seed = mutator.initial_seed()
+        shuffled = mutator.shuffle(seed)
+        assert sorted(map(repr, seed.flat_ops())) == \
+            sorted(map(repr, shuffled.flat_ops()))
+
+    def test_merge_combines(self, mutator):
+        a = mutator.initial_seed()
+        b = mutator.initial_seed()
+        merged = mutator.merge(a, b)
+        assert merged.op_count > 0
+        assert len(merged.threads) == 4
+
+    def test_evolve_returns_seed(self, mutator):
+        corpus = [mutator.initial_seed()]
+        for _ in range(20):
+            assert isinstance(mutator.evolve(corpus), Seed)
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        space = OperationSpace()
+        ops = [{"op": "put", "key": 3, "value": 17},
+               {"op": "get", "key": 3},
+               {"op": "delete", "key": 5}]
+        data = space.serialize(ops)
+        parsed, invalid = space.parse(data)
+        assert invalid == 0
+        assert parsed == ops
+
+    def test_invalid_lines_counted(self):
+        space = OperationSpace()
+        parsed, invalid = space.parse(b"put 1 2\ngarbage\nget x\nget 4\n")
+        assert invalid == 2
+        assert len(parsed) == 2
+
+    def test_binary_garbage(self):
+        space = OperationSpace()
+        parsed, invalid = space.parse(bytes(range(256)))
+        assert invalid >= 1
+        assert parsed == []
+
+
+class TestAflMutator:
+    def test_mutation_changes_bytes(self):
+        afl = AflByteMutator(OperationSpace(), rng=random.Random(3))
+        base = afl.initial_bytes()
+        assert afl.mutate_bytes(base) != base
+
+    def test_invalid_ops_accumulate(self):
+        afl = AflByteMutator(OperationSpace(), rng=random.Random(3))
+        base = afl.initial_bytes()
+        for _ in range(50):
+            seed, base = afl.next_seed(base)
+        assert afl.invalid_ops > 0
+
+    def test_seed_ops_all_valid(self):
+        afl = AflByteMutator(OperationSpace(), rng=random.Random(3))
+        seed, _data = afl.next_seed()
+        for op in seed.flat_ops():
+            assert op["op"] in OperationSpace.kinds
+
+    def test_error_rate_substantial(self):
+        """Table 4's premise: byte mutation wastes a chunk of commands."""
+        afl = AflByteMutator(MemcachedOperationSpace(),
+                             rng=random.Random(5))
+        base = afl.initial_bytes()
+        total_valid = 0
+        for _ in range(100):
+            seed, base = afl.next_seed(base)
+            total_valid += seed.op_count
+        assert afl.invalid_ops > 0
+        # byte-level havoc must hurt parse validity visibly
+        assert afl.invalid_ops >= total_valid * 0.05
+
+
+class TestMemcachedProtocol:
+    def test_roundtrip(self):
+        space = MemcachedOperationSpace()
+        ops = [{"op": "set", "key": 1, "value": 55},
+               {"op": "get", "key": 1},
+               {"op": "incr", "key": 1, "value": 3},
+               {"op": "delete", "key": 1}]
+        parsed, invalid = space.parse(space.serialize(ops))
+        assert invalid == 0
+        assert parsed == ops
+
+    def test_set_requires_byte_count(self):
+        space = MemcachedOperationSpace()
+        assert space.parse_line("set key1 0 0 99 5") is None  # wrong nbytes
+        assert space.parse_line("set key1 0 0 1 5") is not None
+
+    def test_bad_key_prefix(self):
+        space = MemcachedOperationSpace()
+        assert space.parse_line("get foo") is None
+
+    def test_incr_requires_positive(self):
+        space = MemcachedOperationSpace()
+        assert space.parse_line("incr key1 0") is None
+        assert space.parse_line("incr key1 5") is not None
+
+    def test_random_ops_serialize_parse(self):
+        space = MemcachedOperationSpace()
+        rng = random.Random(2)
+        ops = [space.random_op(rng) for _ in range(50)]
+        parsed, invalid = space.parse(space.serialize(ops))
+        assert invalid == 0
+        assert len(parsed) == 50

@@ -1,0 +1,82 @@
+"""Result-table builder tests."""
+
+import pytest
+
+from repro.core import PMRace, PMRaceConfig
+from repro.core.results import (
+    EXPECTED_BUGS,
+    build_table2,
+    build_table3,
+    build_table5,
+    build_table6,
+    expected_bugs_for,
+    match_expected,
+    render_table,
+)
+from repro.targets import table1_rows
+
+from .toy_target import ToyTarget
+
+
+@pytest.fixture(scope="module")
+def toy_result():
+    config = PMRaceConfig(max_campaigns=20, max_seeds=6, base_seed=2)
+    return PMRace(ToyTarget(), config).run()
+
+
+class TestCatalog:
+    def test_fourteen_bugs(self):
+        assert len(EXPECTED_BUGS) == 14
+
+    def test_ten_new(self):
+        assert sum(1 for bug in EXPECTED_BUGS if bug.new) == 10
+
+    def test_per_target_counts(self):
+        assert len(expected_bugs_for("P-CLHT")) == 5
+        assert len(expected_bugs_for("clevel hashing")) == 0
+        assert len(expected_bugs_for("CCEH")) == 2
+        assert len(expected_bugs_for("FAST-FAIR")) == 1
+        assert len(expected_bugs_for("memcached-pmem")) == 6
+
+    def test_match_against_toy_is_negative(self, toy_result):
+        for bug in EXPECTED_BUGS:
+            assert not match_expected(bug, toy_result)
+
+
+class TestTableBuilders:
+    def test_table1_static(self):
+        rows = table1_rows()
+        assert len(rows) == 5
+        assert rows[0]["system"] == "P-CLHT"
+        assert rows[-1]["concurrency"] == "Lock-based"
+
+    def test_table2_rows(self, toy_result):
+        rows = build_table2({"P-CLHT": toy_result})
+        assert len(rows) == 14
+        assert all(row["found"] in ("FOUND", "missed") for row in rows)
+
+    def test_table3_totals(self, toy_result):
+        rows = build_table3({"toy": toy_result})
+        assert rows[-1]["system"] == "Total"
+        assert rows[0]["inter_cand"] == len(toy_result.inter_candidates)
+        assert rows[-1]["inter"] == rows[0]["inter"]
+
+    def test_table5_format(self, toy_result):
+        rows = build_table5({"toy": toy_result})
+        assert rows[-1]["system"] == "Total"
+        assert "|" in rows[-1]["total"]
+
+    def test_table6(self, toy_result):
+        rows = build_table6({"toy": toy_result})
+        assert rows[0]["bug"] == len(toy_result.bug_reports)
+
+    def test_render_table(self):
+        text = render_table([{"a": 1, "b": "xy"}, {"a": 22, "b": "z"}],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_render_empty(self):
+        assert render_table([]) == "(empty table)"

@@ -1,0 +1,114 @@
+"""Expected-bug matcher and table-math tests."""
+
+import pytest
+
+from repro.core import PMRaceConfig
+from repro.core.engine import RunResult
+from repro.core.results import (
+    EXPECTED_BUGS,
+    ExpectedBug,
+    build_table3,
+    match_expected,
+)
+from repro.detect.records import (
+    BugReport,
+    CandidateRecord,
+    InconsistencyRecord,
+    Verdict,
+)
+
+
+def make_result(target="sys"):
+    return RunResult(target, PMRaceConfig())
+
+
+def add_bug_report(result, kind, write_instr, read_instr="r:1"):
+    result.bug_reports.append(
+        BugReport(len(result.bug_reports) + 1, result.target_name, kind,
+                  write_instr, read_instr, "desc", []))
+
+
+class TestMatchers:
+    def test_site_substring(self):
+        bug = ExpectedBug(99, "sys", "inter", True, "-", "-", "mod:_split",
+                          "d", "c")
+        result = make_result()
+        add_bug_report(result, "inter", "mod:_split_leaf:10")
+        assert match_expected(bug, result)
+
+    def test_kind_twin_accepted(self):
+        bug = ExpectedBug(99, "sys", "inter", True, "-", "-", "mod:w", "d",
+                          "c")
+        result = make_result()
+        add_bug_report(result, "intra", "mod:w:10")
+        assert match_expected(bug, result)  # inter accepts intra twin
+
+    def test_sync_not_matched_by_inter(self):
+        bug = ExpectedBug(99, "sys", "sync", True, "-", "-", "lockname",
+                          "d", "c")
+        result = make_result()
+        add_bug_report(result, "inter", "lockname:10")
+        assert not match_expected(bug, result)
+
+    def test_alternative_matchers(self):
+        bug = ExpectedBug(99, "sys", "inter", True, "-", "-",
+                          ("aaa", "bbb"), "d", "c")
+        result = make_result()
+        add_bug_report(result, "inter", "mod:bbb:3")
+        assert match_expected(bug, result)
+
+    def test_candidate_matcher_reads(self):
+        bug = ExpectedBug(99, "sys", "candidate", True, "-", "-",
+                          "mod:get", "d", "c")
+        result = make_result()
+        result.candidates.append(
+            CandidateRecord(0, 64, 8, "mod:get:5", "mod:put:9", 1, 0,
+                            (), 1))
+        assert match_expected(bug, result)
+
+    def test_no_reports_no_match(self):
+        for bug in EXPECTED_BUGS:
+            assert not match_expected(bug, make_result(bug.target))
+
+
+class TestTable3Math:
+    def make_inconsistency(self, write, read, verdict, tids=(0, 1)):
+        candidate = CandidateRecord(0, 64, 8, read, write, tids[1],
+                                    tids[0], (), 1)
+        record = InconsistencyRecord(candidate, "e:1", 128, 8, False, (),
+                                     b"")
+        record.verdict = verdict
+        return record
+
+    def test_pair_counting(self):
+        result = make_result()
+        # two records, same (write, read) pair -> counted once
+        result.inconsistencies.append(
+            self.make_inconsistency("w:1", "r:1", Verdict.BUG))
+        result.inconsistencies.append(
+            self.make_inconsistency("w:1", "r:1", Verdict.BUG))
+        result.candidates.append(
+            CandidateRecord(0, 64, 8, "r:1", "w:1", 1, 0, (), 1))
+        rows = build_table3({"sys": result})
+        assert rows[0]["inter"] == 1
+        assert rows[0]["inter"] <= rows[0]["inter_cand"]
+
+    def test_totals_sum_rows(self):
+        a = make_result("a")
+        a.candidates.append(
+            CandidateRecord(0, 64, 8, "r:1", "w:1", 1, 0, (), 1))
+        b = make_result("b")
+        b.candidates.append(
+            CandidateRecord(0, 64, 8, "r:2", "w:2", 1, 0, (), 1))
+        rows = build_table3({"a": a, "b": b})
+        assert rows[-1]["inter_cand"] == 2
+
+    def test_fp_columns_partition(self):
+        result = make_result()
+        result.inconsistencies.append(
+            self.make_inconsistency("w:1", "r:1", Verdict.VALIDATED_FP))
+        result.inconsistencies.append(
+            self.make_inconsistency("w:2", "r:2", Verdict.WHITELISTED_FP))
+        rows = build_table3({"sys": result})
+        assert rows[0]["validated_fp"] == 1
+        assert rows[0]["whitelisted_fp"] == 1

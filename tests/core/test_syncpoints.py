@@ -1,0 +1,152 @@
+"""Figure 6 sync-point controller tests, including all three pitfalls."""
+
+import inspect
+import random
+
+import pytest
+
+from repro.core import SharedAccessEntry, SyncPointController
+from repro.detect import InconsistencyChecker
+from repro.instrument import InstrumentationContext, PmView
+from repro.pmem import PmemPool
+from repro.runtime import RoundRobinPolicy, Scheduler
+
+
+def site_of(fn, offset=1):
+    """Instruction id of the statement ``offset`` lines into ``fn``."""
+    line = inspect.getsourcelines(fn)[1] + offset
+    module = fn.__module__
+    return "%s:%s:%d" % (module, fn.__name__, line)
+
+
+def reader_loads(view, scheduler):
+    view.load_u64(64)
+
+
+def reader_loads_twice(view, scheduler):
+    view.load_u64(64)
+    view.load_u64(64)
+
+
+def writer_stores_late(view, scheduler):
+    for _ in range(5):
+        scheduler.yield_point("op")
+    view.store_u64(64, 7)
+    view.persist(64, 8)
+
+
+def writer_never_stores(view, scheduler):
+    for _ in range(400):
+        scheduler.yield_point("op")
+
+
+LOAD_SITE = site_of(reader_loads)
+LOAD_SITE_A = site_of(reader_loads_twice, 1)
+LOAD_SITE_B = site_of(reader_loads_twice, 2)
+
+
+def run_scenario(load_sites, threads, writer_waiting=8, initial_skips=None,
+                 all_block_threshold=40, some_block_threshold=160,
+                 store_sites=frozenset(), **sched_kwargs):
+    pool = PmemPool("sp", 8192)
+    scheduler = Scheduler(RoundRobinPolicy(),
+                          spin_hang_limit=sched_kwargs.pop(
+                              "spin_hang_limit", 5000),
+                          thread_spin_limit=sched_kwargs.pop(
+                              "thread_spin_limit", 50_000),
+                          max_steps=sched_kwargs.pop("max_steps", 100_000))
+    ctx = InstrumentationContext()
+    checker = ctx.add_observer(InconsistencyChecker(pool))
+    view = PmView(pool, scheduler, ctx)
+    entry = SharedAccessEntry(64, frozenset(load_sites),
+                              frozenset(store_sites), 1)
+    controller = SyncPointController(
+        entry, scheduler, rng=random.Random(0),
+        writer_waiting=writer_waiting, initial_skips=initial_skips,
+        all_block_threshold=all_block_threshold,
+        some_block_threshold=some_block_threshold)
+    ctx.controller = controller
+    for index, fn in enumerate(threads):
+        scheduler.spawn(lambda fn=fn: fn(view, scheduler), "t%d" % index)
+    outcome = scheduler.run()
+    return outcome, controller, checker
+
+
+class TestSyncPointScheduling:
+    def test_stall_produces_dirty_read(self):
+        outcome, controller, checker = run_scenario(
+            {LOAD_SITE}, [reader_loads, writer_stores_late])
+        assert outcome.ok
+        assert controller.stall_count == 1
+        assert controller.signaled
+        assert controller.signal_count == 1
+        assert checker.inter_candidates
+
+    def test_without_controller_no_dirty_read(self):
+        pool = PmemPool("plain", 8192)
+        scheduler = Scheduler(RoundRobinPolicy())
+        ctx = InstrumentationContext()
+        checker = ctx.add_observer(InconsistencyChecker(pool))
+        view = PmView(pool, scheduler, ctx)
+        scheduler.spawn(lambda: reader_loads(view, scheduler))
+        scheduler.spawn(lambda: writer_stores_late(view, scheduler))
+        assert scheduler.run().ok
+        assert not checker.inter_candidates
+
+    def test_signal_by_address_match(self):
+        # store_sites empty: the signal fires because the store hits the
+        # entry's address.
+        outcome, controller, _checker = run_scenario(
+            {LOAD_SITE}, [reader_loads, writer_stores_late])
+        assert controller.signaled
+
+    def test_unrelated_load_site_not_stalled(self):
+        outcome, controller, checker = run_scenario(
+            {"other:site:1"}, [reader_loads, writer_stores_late])
+        assert outcome.ok
+        assert controller.stall_count == 0
+        assert not checker.inter_candidates
+
+
+class TestPitfalls:
+    def test_pitfall1_disable_after_signal(self):
+        outcome, controller, _checker = run_scenario(
+            {LOAD_SITE_A, LOAD_SITE_B},
+            [reader_loads_twice, writer_stores_late])
+        assert outcome.ok
+        # the second load happens after the signal and must not stall
+        assert controller.stall_count == 1
+
+    def test_pitfall2_privileged_thread(self):
+        outcome, controller, _checker = run_scenario(
+            {LOAD_SITE}, [reader_loads, reader_loads],
+            all_block_threshold=10, some_block_threshold=100_000)
+        assert outcome.ok
+        assert controller.privileged_tid is not None
+
+    def test_pitfall3_disable_and_save_skip(self):
+        outcome, controller, _checker = run_scenario(
+            {LOAD_SITE}, [reader_loads, writer_never_stores],
+            some_block_threshold=30, all_block_threshold=10_000)
+        assert outcome.ok
+        assert not controller.enabled
+        assert controller.updated_skips.get(LOAD_SITE, 0) >= 1
+
+    def test_initial_skip_consumed(self):
+        outcome, controller, checker = run_scenario(
+            {LOAD_SITE}, [reader_loads, writer_stores_late],
+            initial_skips={LOAD_SITE: 5})
+        assert outcome.ok
+        assert controller.stall_count == 0
+        assert not checker.inter_candidates
+
+    def test_bypassing_thread_not_stalled(self):
+        def reader_with_bypass(view, scheduler):
+            scheduler.current().bypass_sync = True
+            view.load_u64(64)
+
+        site = site_of(reader_with_bypass, 2)
+        outcome, controller, _checker = run_scenario(
+            {site}, [reader_with_bypass, writer_stores_late])
+        assert outcome.ok
+        assert controller.stall_count == 0

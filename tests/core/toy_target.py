@@ -1,0 +1,87 @@
+"""A miniature deliberately-buggy target for engine/campaign tests.
+
+One shared counter slot: ``bump`` reads the counter, stores counter+1
+without a flush, and publishes a (flushed) mirror derived from the read —
+a classic PM Inter-thread Inconsistency. ``fix`` persists the counter.
+The recovery code rewrites the mirror, so mirror-targeting effects
+validate as false positives, while effects on the second mirror survive
+as bugs.
+"""
+
+from repro.targets.base import OperationSpace, Target, TargetState, raw_view
+
+COUNTER = 64
+MIRROR = 128          # overwritten by recovery -> validated FP
+SHADOW = 192          # untouched by recovery   -> bug
+LOCK = 256            # annotated persistent lock, never re-initialized
+
+
+class ToySpace(OperationSpace):
+    kinds = ("bump", "fix", "read")
+    insert_kind = "bump"
+    key_range = 4
+
+    def random_op(self, rng, near_key=None):
+        return {"op": rng.choice(self.kinds), "key": 0}
+
+    def mutate_op(self, op, rng):
+        return {"op": rng.choice(self.kinds), "key": 0}
+
+
+class ToyInstance:
+    def __init__(self, view):
+        self.view = view
+
+    def bump(self):
+        view = self.view
+        view.cas_u64(LOCK, 0, 1)
+        counter = view.load_u64(COUNTER)
+        view.store_u64(COUNTER, counter + 1)   # never flushed here
+        view.ntstore_u64(MIRROR, counter + 1)  # durable side effect (FP)
+        view.ntstore_u64(SHADOW, counter + 1)  # durable side effect (bug)
+        view.sfence()
+        view.store_u64(LOCK, 0)
+
+    def fix(self):
+        self.view.persist(COUNTER, 8)
+
+    def read(self):
+        return int(self.view.load_u64(COUNTER))
+
+
+class ToyTarget(Target):
+    NAME = "toy"
+    POOL_SIZE = 4096
+
+    def operation_space(self):
+        return ToySpace()
+
+    def setup(self):
+        from repro.pmem import PmemPool
+        pool = PmemPool("toy", self.POOL_SIZE)
+        pool.memory.persist_all()
+        state = TargetState(pool)
+        state.annotations.pm_sync_var_hint("toy_lock", 8, 0)
+        state.annotations.register_instance("toy_lock", LOCK)
+        return state
+
+    def open(self, state, view, scheduler):
+        return ToyInstance(view)
+
+    def exec_op(self, instance, view, op):
+        kind = op.get("op")
+        if kind == "bump":
+            instance.bump()
+            return True
+        if kind == "fix":
+            instance.fix()
+            return True
+        if kind == "read":
+            instance.read()
+            return True
+        return False
+
+    def recover(self, pool, view):
+        view.ntstore_u64(MIRROR, pool.read_u64(COUNTER))
+        view.sfence()
+        return self

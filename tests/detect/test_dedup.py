@@ -1,0 +1,93 @@
+"""Unique-bug grouping tests (§6.2's definition)."""
+
+import pytest
+
+from repro.detect import group_bugs, unique_key
+from repro.detect.records import (
+    CandidateRecord,
+    InconsistencyRecord,
+    SyncInconsistencyRecord,
+)
+
+
+def make_inconsistency(write_instr, read_instr="r:1", effect="e:1",
+                       tids=(0, 1), address_flow=False):
+    candidate = CandidateRecord(0, 64, 8, read_instr, write_instr,
+                                tids[1], tids[0], (), 1)
+    return InconsistencyRecord(candidate, effect, 128, 8, address_flow,
+                               (), b"")
+
+
+def make_sync(name, instr="s:1"):
+    return SyncInconsistencyRecord(name, 256, 8, 0, 1, instr, (), b"")
+
+
+class TestUniqueKey:
+    def test_same_write_same_key(self):
+        a = make_inconsistency("w:1", read_instr="r:1")
+        b = make_inconsistency("w:1", read_instr="r:2", effect="e:9")
+        assert unique_key(a) == unique_key(b)
+
+    def test_different_write_different_key(self):
+        assert unique_key(make_inconsistency("w:1")) != \
+            unique_key(make_inconsistency("w:2"))
+
+    def test_inter_intra_distinct(self):
+        inter = make_inconsistency("w:1", tids=(0, 1))
+        intra = make_inconsistency("w:1", tids=(2, 2))
+        assert unique_key(inter) != unique_key(intra)
+
+    def test_sync_keyed_by_type(self):
+        assert unique_key(make_sync("lock", "s:1")) == \
+            unique_key(make_sync("lock", "s:2"))
+        assert unique_key(make_sync("a")) != unique_key(make_sync("b"))
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TypeError):
+            unique_key(object())
+
+
+class TestGroupBugs:
+    def test_grouping(self):
+        records = [make_inconsistency("w:1"),
+                   make_inconsistency("w:1", read_instr="r:2"),
+                   make_inconsistency("w:2"),
+                   make_sync("lock")]
+        reports = group_bugs("sys", records)
+        assert len(reports) == 3
+        assert reports[0].records and len(reports[0].records) == 2
+
+    def test_report_fields(self):
+        reports = group_bugs("sys", [make_inconsistency("w:1")], seed=7)
+        report = reports[0]
+        assert report.target == "sys"
+        assert report.kind == "inter"
+        assert report.write_instr == "w:1"
+        assert report.read_instr == "r:1"
+        assert report.seed == 7
+
+    def test_sync_report(self):
+        report = group_bugs("sys", [make_sync("bucket_lock")])[0]
+        assert report.kind == "sync"
+        assert "bucket_lock" in report.description
+
+    def test_flow_description(self):
+        content = group_bugs("s", [make_inconsistency("w:1")])[0]
+        assert "content flow" in content.description
+        addressed = group_bugs(
+            "s", [make_inconsistency("w:2", address_flow=True)])[0]
+        assert "address flow" in addressed.description
+
+    def test_format_renders(self):
+        report = group_bugs("sys", [make_inconsistency("w:1")])[0]
+        text = report.format()
+        assert "PMRace bug report" in text
+        assert "w:1" in text
+
+    def test_empty(self):
+        assert group_bugs("sys", []) == []
+
+    def test_stable_numbering(self):
+        records = [make_inconsistency("w:%d" % i) for i in range(3)]
+        reports = group_bugs("sys", records)
+        assert [r.bug_id for r in reports] == [1, 2, 3]

@@ -1,0 +1,156 @@
+"""Post-failure validation tests with a miniature recoverable target."""
+
+import pytest
+
+from repro.detect import (
+    InconsistencyChecker,
+    PostFailureValidator,
+    Verdict,
+    Whitelist,
+)
+from repro.detect.postfailure import WriteRecorder
+from repro.detect.records import SyncInconsistencyRecord
+from repro.instrument import InstrumentationContext, PmView
+from repro.instrument.events import PmAccessEvent
+from repro.pmem import PmemPool
+
+
+class MiniTarget:
+    """Recovery overwrites [1024, 1024+64) and re-inits the word at 512."""
+
+    def recover(self, pool, view):
+        view.ntstore_bytes(1024, b"\x00" * 64)
+        view.ntstore_u64(512, 0)
+        view.sfence()
+        return self
+
+
+class NoRecoveryTarget:
+    def recover(self, pool, view):
+        return self
+
+
+class FailingRecoveryTarget:
+    def recover(self, pool, view):
+        raise RuntimeError("recovery crashed on inconsistent image")
+
+
+def detect_one(side_effect_addr):
+    """Produce an inter-style inconsistency record at the given address."""
+    pool = PmemPool("pf", 8192)
+    ctx = InstrumentationContext()
+    checker = ctx.add_observer(InconsistencyChecker(pool))
+    view = PmView(pool, None, ctx)
+    view.store_u64(64, 7)
+    value = view.load_u64(64)
+    view.ntstore_u64(side_effect_addr, value + 1)
+    assert checker.inconsistencies
+    return checker.inconsistencies[0]
+
+
+class TestWriteRecorder:
+    def test_exact_cover(self):
+        recorder = WriteRecorder()
+        recorder.on_store(PmAccessEvent("store", 100, 8))
+        assert recorder.covers(100, 8)
+
+    def test_partial_no_cover(self):
+        recorder = WriteRecorder()
+        recorder.on_store(PmAccessEvent("store", 100, 4))
+        assert not recorder.covers(100, 8)
+
+    def test_adjacent_intervals_merge(self):
+        recorder = WriteRecorder()
+        recorder.on_store(PmAccessEvent("store", 100, 4))
+        recorder.on_store(PmAccessEvent("store", 104, 4))
+        assert recorder.covers(100, 8)
+
+    def test_gap_not_covered(self):
+        recorder = WriteRecorder()
+        recorder.on_store(PmAccessEvent("store", 100, 4))
+        recorder.on_store(PmAccessEvent("store", 108, 4))
+        assert not recorder.covers(100, 12)
+
+    def test_superset_covers(self):
+        recorder = WriteRecorder()
+        recorder.on_store(PmAccessEvent("store", 96, 64))
+        assert recorder.covers(100, 8)
+
+    def test_empty_range_trivially_covered(self):
+        assert WriteRecorder().covers(0, 0)
+
+    def test_unordered_intervals(self):
+        recorder = WriteRecorder()
+        recorder.on_store(PmAccessEvent("store", 108, 4))
+        recorder.on_store(PmAccessEvent("store", 100, 8))
+        assert recorder.covers(100, 12)
+
+
+class TestInterValidation:
+    def test_overwritten_is_fp(self):
+        record = detect_one(1024)
+        validator = PostFailureValidator(MiniTarget)
+        assert validator.validate(record) is Verdict.VALIDATED_FP
+
+    def test_survivor_is_bug(self):
+        record = detect_one(2048)
+        validator = PostFailureValidator(MiniTarget)
+        assert validator.validate(record) is Verdict.BUG
+
+    def test_whitelist_beats_bug(self):
+        record = detect_one(2048)
+        whitelist = Whitelist(["test_postfailure"])
+        validator = PostFailureValidator(MiniTarget, whitelist)
+        assert validator.validate(record) is Verdict.WHITELISTED_FP
+
+    def test_validation_precedes_whitelist(self):
+        record = detect_one(1024)
+        whitelist = Whitelist(["test_postfailure"])
+        validator = PostFailureValidator(MiniTarget, whitelist)
+        assert validator.validate(record) is Verdict.VALIDATED_FP
+
+    def test_recovery_crash_is_bug(self):
+        record = detect_one(1024)
+        validator = PostFailureValidator(FailingRecoveryTarget)
+        assert validator.validate(record) is Verdict.BUG
+        assert "recovery failed" in record.note
+
+    def test_missing_image_pending(self):
+        record = detect_one(1024)
+        record.crash_image = None
+        validator = PostFailureValidator(MiniTarget)
+        assert validator.validate(record) is Verdict.PENDING
+
+
+class TestSyncValidation:
+    def sync_record(self, addr, value):
+        pool = PmemPool("sync", 8192)
+        pool.write_u64(addr, value)
+        pool.memory.persist_all()
+        return SyncInconsistencyRecord("lock", addr, 8, 0, value,
+                                       "site:1", (), pool.crash_image())
+
+    def test_reinitialized_is_fp(self):
+        record = self.sync_record(512, 1)  # MiniTarget re-inits 512
+        validator = PostFailureValidator(MiniTarget)
+        assert validator.validate(record) is Verdict.VALIDATED_FP
+
+    def test_stale_lock_is_bug(self):
+        record = self.sync_record(768, 1)
+        validator = PostFailureValidator(MiniTarget)
+        assert validator.validate(record) is Verdict.BUG
+        assert "stuck" in record.note
+
+    def test_no_recovery_is_bug(self):
+        record = self.sync_record(512, 1)
+        validator = PostFailureValidator(NoRecoveryTarget)
+        assert validator.validate(record) is Verdict.BUG
+
+
+class TestBatch:
+    def test_validate_all_partitions(self):
+        records = [detect_one(1024), detect_one(2048)]
+        validator = PostFailureValidator(MiniTarget)
+        bugs, validated, whitelisted = validator.validate_all(records)
+        assert len(bugs) == 1 and len(validated) == 1
+        assert not whitelisted

@@ -1,0 +1,52 @@
+"""Whitelist matching tests."""
+
+from repro.detect import DEFAULT_WHITELIST, Whitelist
+from repro.detect.records import CandidateRecord, InconsistencyRecord
+
+
+def make_record(effect_stack=(), candidate_stack=()):
+    candidate = CandidateRecord(0, 64, 8, "mod:read:1", "mod:write:2",
+                                0, 1, tuple(candidate_stack), 1)
+    return InconsistencyRecord(candidate, "mod:effect:3", 128, 8, False,
+                               tuple(effect_stack), b"")
+
+
+class TestWhitelist:
+    def test_default_covers_pmdk_alloc(self):
+        assert any("repro.pmdk.alloc" in entry for entry in DEFAULT_WHITELIST)
+
+    def test_effect_stack_match(self):
+        whitelist = Whitelist(["unrelated:rule", "repro.pmdk.alloc:"])
+        record = make_record(
+            effect_stack=["repro.pmdk.alloc:pm_atomic_alloc:10"])
+        assert whitelist.matches(record)
+
+    def test_candidate_stack_match(self):
+        whitelist = Whitelist(["repro.pmdk.alloc:"])
+        record = make_record(
+            candidate_stack=["repro.pmdk.alloc:pm_atomic_alloc:10",
+                             "repro.targets.clevel:_expand:5"])
+        assert whitelist.matches(record)
+
+    def test_no_match(self):
+        whitelist = Whitelist(["special:place"])
+        record = make_record(effect_stack=["other:frame:1"],
+                             candidate_stack=["another:frame:2"])
+        assert not whitelist.matches(record)
+
+    def test_add_rule(self):
+        whitelist = Whitelist([])
+        record = make_record(effect_stack=["custom:checksum_read:9"])
+        assert not whitelist.matches(record)
+        whitelist.add("custom:checksum_read")
+        assert whitelist.matches(record)
+
+    def test_empty_stacks(self):
+        whitelist = Whitelist(["anything"])
+        assert not whitelist.matches(make_record())
+
+    def test_substring_semantics(self):
+        whitelist = Whitelist(["memcached:_verify"])
+        record = make_record(
+            effect_stack=["repro.targets.memcached:_verify_checksum:42"])
+        assert whitelist.matches(record)

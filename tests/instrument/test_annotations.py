@@ -1,0 +1,63 @@
+"""Annotation registry tests."""
+
+import pytest
+
+from repro.instrument import AnnotationRegistry
+
+
+@pytest.fixture
+def registry():
+    return AnnotationRegistry()
+
+
+class TestRegistry:
+    def test_hint_creates_type(self, registry):
+        annotation = registry.pm_sync_var_hint("lock", 8, 0)
+        assert annotation.name == "lock"
+        assert annotation.size == 8
+        assert annotation.init_val == 0
+
+    def test_hint_idempotent(self, registry):
+        first = registry.pm_sync_var_hint("lock", 8, 0)
+        again = registry.pm_sync_var_hint("lock", 8, 0)
+        assert first is again
+        assert registry.annotation_count == 1
+
+    def test_register_and_lookup(self, registry):
+        registry.pm_sync_var_hint("lock", 8, 0)
+        registry.register_instance("lock", 128)
+        assert registry.lookup(128, 8).name == "lock"
+
+    def test_lookup_overlapping_range(self, registry):
+        registry.pm_sync_var_hint("lock", 8, 0)
+        registry.register_instance("lock", 128)
+        # a store covering [120, 136) touches the annotated byte
+        assert registry.lookup(120, 16) is not None
+
+    def test_lookup_miss(self, registry):
+        registry.pm_sync_var_hint("lock", 8, 0)
+        registry.register_instance("lock", 128)
+        assert registry.lookup(256, 8) is None
+
+    def test_unregister(self, registry):
+        registry.pm_sync_var_hint("lock", 8, 0)
+        registry.register_instance("lock", 128)
+        registry.unregister_instance(128)
+        assert registry.lookup(128, 8) is None
+
+    def test_unregister_unknown_ok(self, registry):
+        registry.unregister_instance(999)
+
+    def test_unknown_type_raises(self, registry):
+        with pytest.raises(KeyError):
+            registry.register_instance("nope", 0)
+
+    def test_multiple_types(self, registry):
+        registry.pm_sync_var_hint("a", 8, 0)
+        registry.pm_sync_var_hint("b", 8, 1)
+        registry.register_instance("a", 0)
+        registry.register_instance("b", 64)
+        assert registry.annotation_count == 2
+        assert registry.lookup(0, 8).name == "a"
+        assert registry.lookup(64, 8).init_val == 1
+        assert {a.name for a in registry.types()} == {"a", "b"}

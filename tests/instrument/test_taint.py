@@ -1,0 +1,162 @@
+"""Taint propagation tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.instrument.taint import (
+    EMPTY,
+    TaintLabel,
+    TaintedBytes,
+    TaintedInt,
+    merge_taints,
+    taint_of,
+    with_taint,
+)
+
+
+def label(n=0):
+    return TaintLabel(n, "read%d" % n, "write%d" % n, 0, 1)
+
+
+L1 = label(1)
+L2 = label(2)
+
+
+class TestTaintedInt:
+    def test_behaves_as_int(self):
+        value = TaintedInt(42, {L1})
+        assert value == 42
+        assert value + 0 == 42
+        assert isinstance(value, int)
+
+    def test_labels_kept(self):
+        assert taint_of(TaintedInt(1, {L1})) == frozenset({L1})
+
+    def test_plain_int_untainted(self):
+        assert taint_of(5) == EMPTY
+
+    @pytest.mark.parametrize("op", [
+        lambda a, b: a + b, lambda a, b: a - b, lambda a, b: a * b,
+        lambda a, b: a // b, lambda a, b: a % b, lambda a, b: a & b,
+        lambda a, b: a | b, lambda a, b: a ^ b, lambda a, b: a << b,
+        lambda a, b: a >> b,
+    ])
+    def test_binary_ops_propagate(self, op):
+        result = op(TaintedInt(100, {L1}), 3)
+        assert L1 in taint_of(result)
+
+    @pytest.mark.parametrize("op", [
+        lambda a, b: b + a, lambda a, b: b - a, lambda a, b: b * a,
+        lambda a, b: b // a, lambda a, b: b % a, lambda a, b: b & a,
+        lambda a, b: b | a, lambda a, b: b ^ a,
+    ])
+    def test_reflected_ops_propagate(self, op):
+        result = op(TaintedInt(7, {L1}), 100)
+        assert L1 in taint_of(result)
+
+    def test_unary_ops(self):
+        assert L1 in taint_of(-TaintedInt(5, {L1}))
+        assert L1 in taint_of(~TaintedInt(5, {L1}))
+        assert L1 in taint_of(abs(TaintedInt(-5, {L1})))
+
+    def test_labels_merge(self):
+        result = TaintedInt(1, {L1}) + TaintedInt(2, {L2})
+        assert taint_of(result) == frozenset({L1, L2})
+
+    def test_comparison_still_works(self):
+        assert TaintedInt(3, {L1}) < 5
+        assert TaintedInt(3, {L1}) == 3
+
+    def test_hashable_like_int(self):
+        assert hash(TaintedInt(9, {L1})) == hash(9)
+        assert {TaintedInt(9, {L1}): "x"}[9] == "x"
+
+    def test_int_conversion_strips(self):
+        assert taint_of(int(TaintedInt(4, {L1}))) == EMPTY
+
+    def test_values_correct(self):
+        assert TaintedInt(10, {L1}) // 3 == 3
+        assert TaintedInt(10, {L1}) % 3 == 1
+        assert TaintedInt(2, {L1}) ** 5 == 32
+
+
+class TestTaintedBytes:
+    def test_behaves_as_bytes(self):
+        data = TaintedBytes(b"abc", {L1})
+        assert data == b"abc"
+        assert len(data) == 3
+
+    def test_index_gives_tainted_int(self):
+        data = TaintedBytes(b"abc", {L1})
+        assert L1 in taint_of(data[0])
+        assert data[0] == ord("a")
+
+    def test_slice_keeps_labels(self):
+        data = TaintedBytes(b"abcdef", {L1})
+        assert taint_of(data[1:3]) == frozenset({L1})
+        assert data[1:3] == b"bc"
+
+    def test_concat_merges(self):
+        result = TaintedBytes(b"ab", {L1}) + TaintedBytes(b"cd", {L2})
+        assert taint_of(result) == frozenset({L1, L2})
+        assert result == b"abcd"
+
+    def test_concat_with_plain(self):
+        result = TaintedBytes(b"ab", {L1}) + b"cd"
+        assert taint_of(result) == frozenset({L1})
+        result = b"xy" + TaintedBytes(b"ab", {L1})
+        assert taint_of(result) == frozenset({L1})
+
+    def test_bytes_conversion_strips(self):
+        assert taint_of(bytes(TaintedBytes(b"a", {L1}))) == EMPTY
+
+
+class TestHelpers:
+    def test_with_taint_int(self):
+        assert taint_of(with_taint(5, {L1})) == frozenset({L1})
+
+    def test_with_taint_bytes(self):
+        value = with_taint(b"xy", {L1})
+        assert isinstance(value, TaintedBytes)
+        assert taint_of(value) == frozenset({L1})
+
+    def test_with_taint_empty_noop(self):
+        assert with_taint(5, EMPTY) is 5 or with_taint(5, EMPTY) == 5
+        assert not isinstance(with_taint(5, EMPTY), TaintedInt)
+
+    def test_with_taint_merges_existing(self):
+        value = with_taint(TaintedInt(5, {L1}), {L2})
+        assert taint_of(value) == frozenset({L1, L2})
+
+    def test_with_taint_bool(self):
+        value = with_taint(True, {L1})
+        assert value == 1
+        assert taint_of(value) == frozenset({L1})
+
+    def test_with_taint_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            with_taint(3.14, {L1})
+
+    def test_merge_taints(self):
+        merged = merge_taints(TaintedInt(1, {L1}), 2, TaintedInt(3, {L2}))
+        assert merged == frozenset({L1, L2})
+
+    def test_merge_taints_empty(self):
+        assert merge_taints(1, 2, 3) == EMPTY
+
+    def test_label_cross_thread(self):
+        assert TaintLabel(0, "r", "w", 0, 1).cross_thread
+        assert not TaintLabel(0, "r", "w", 2, 2).cross_thread
+
+
+@given(st.integers(), st.integers())
+def test_property_arithmetic_matches_int(a, b):
+    ta = TaintedInt(a, {L1})
+    assert ta + b == a + b
+    assert ta * b == a * b
+    assert ta - b == a - b
+    if b != 0:
+        assert ta // b == a // b
+        assert ta % b == a % b
+    assert L1 in taint_of(ta + b)

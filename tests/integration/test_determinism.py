@@ -1,0 +1,44 @@
+"""Cross-cutting integration tests: determinism and comparison modes."""
+
+import pytest
+
+from repro.core import PMRace, PMRaceConfig
+from repro.targets import PclhtTarget
+
+
+def fuzz(seed, mode="pmrace", campaigns=20):
+    config = PMRaceConfig(max_campaigns=campaigns, max_seeds=8,
+                          base_seed=seed, mode=mode)
+    return PMRace(PclhtTarget(), config).run()
+
+
+class TestDeterminism:
+    def test_same_seed_same_findings(self):
+        a = fuzz(3)
+        b = fuzz(3)
+        assert len(a.candidates) == len(b.candidates)
+        assert len(a.inconsistencies) == len(b.inconsistencies)
+        assert len(a.sync_inconsistencies) == len(b.sync_inconsistencies)
+        assert [r.dedup_key() for r in a.inconsistencies] == \
+            [r.dedup_key() for r in b.inconsistencies]
+
+    def test_coverage_deterministic(self):
+        a = fuzz(4, campaigns=12)
+        b = fuzz(4, campaigns=12)
+        assert a.coverage_timeline[-1][2] == b.coverage_timeline[-1][2]
+        assert a.coverage_timeline[-1][3] == b.coverage_timeline[-1][3]
+
+
+class TestComparisonModes:
+    def test_all_modes_find_candidates(self):
+        for mode in ("pmrace", "delay", "random"):
+            result = fuzz(5, mode=mode, campaigns=20)
+            assert result.campaigns == 20
+            assert result.candidates, "mode %s found nothing" % mode
+
+    def test_pmrace_confirms_at_least_as_much(self):
+        """PM-aware scheduling should not be worse than plain random."""
+        pmrace = fuzz(6, mode="pmrace", campaigns=25)
+        random_ = fuzz(6, mode="random", campaigns=25)
+        assert len(pmrace.inter_inconsistencies) >= \
+            len(random_.inter_inconsistencies)

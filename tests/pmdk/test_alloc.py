@@ -1,0 +1,72 @@
+"""Bump-heap atomic allocation tests."""
+
+import pytest
+
+from repro.detect import InconsistencyChecker
+from repro.instrument import InstrumentationContext, PmView
+from repro.pmdk import BumpHeap, pm_atomic_alloc
+from repro.pmem import PmemPool
+from repro.runtime import RoundRobinPolicy, Scheduler
+
+
+def make(limit=8192):
+    pool = PmemPool("bump", 8192)
+    ctx = InstrumentationContext()
+    checker = ctx.add_observer(InconsistencyChecker(pool))
+    view = PmView(pool, None, ctx)
+    heap = BumpHeap(0, limit)
+    heap.init(view, 1024)
+    return pool, view, heap, checker
+
+
+class TestBumpAlloc:
+    def test_sequential_allocations_disjoint(self):
+        _pool, view, heap, _checker = make()
+        a = pm_atomic_alloc(view, heap, 100)
+        b = pm_atomic_alloc(view, heap, 100)
+        assert int(b) >= int(a) + 128  # 64-aligned 100 -> 128
+
+    def test_alignment(self):
+        _pool, view, heap, _checker = make()
+        assert int(pm_atomic_alloc(view, heap, 10)) % 64 == 0
+
+    def test_exhaustion_returns_zero(self):
+        _pool, view, heap, _checker = make(limit=1200)
+        assert pm_atomic_alloc(view, heap, 128) != 0
+        assert pm_atomic_alloc(view, heap, 128) == 0
+
+    def test_racy_cursor_read_is_candidate(self):
+        """The second allocation reads the (unflushed) advanced cursor."""
+        _pool, view, heap, checker = make()
+        pm_atomic_alloc(view, heap, 64)
+        pm_atomic_alloc(view, heap, 64)
+        assert checker.candidates
+        assert checker.inconsistencies  # CAS content flow
+
+    def test_candidate_stack_is_whitelistable(self):
+        from repro.detect import Whitelist
+        _pool, view, heap, checker = make()
+        pm_atomic_alloc(view, heap, 64)
+        pm_atomic_alloc(view, heap, 64)
+        whitelist = Whitelist()
+        assert all(whitelist.matches(record)
+                   for record in checker.inconsistencies)
+
+    def test_concurrent_allocations_unique(self):
+        pool = PmemPool("conc", 1 << 16)
+        scheduler = Scheduler(RoundRobinPolicy())
+        ctx = InstrumentationContext()
+        view = PmView(pool, scheduler, ctx)
+        heap = BumpHeap(0, 1 << 16)
+        heap.init(view, 1024)
+        results = []
+
+        def worker():
+            for _ in range(5):
+                results.append(int(pm_atomic_alloc(view, heap, 64)))
+
+        scheduler.spawn(worker)
+        scheduler.spawn(worker)
+        assert scheduler.run().ok
+        assert len(results) == 10
+        assert len(set(results)) == 10

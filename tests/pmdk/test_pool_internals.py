@@ -1,0 +1,74 @@
+"""Mini-PMDK internals: lane assignment, free-list carving, layout."""
+
+import pytest
+
+from repro.pmdk import HEAP_START, LANE_COUNT, PmemObjPool
+from repro.pmdk.pool import LANES_START, REGISTRY_START, _carve
+
+
+class TestCarve:
+    def test_middle(self):
+        assert _carve([(0, 100)], 40, 20) == [(0, 40), (60, 40)]
+
+    def test_prefix(self):
+        assert _carve([(0, 100)], 0, 30) == [(30, 70)]
+
+    def test_suffix(self):
+        assert _carve([(0, 100)], 70, 30) == [(0, 70)]
+
+    def test_whole(self):
+        assert _carve([(0, 100)], 0, 100) == []
+
+    def test_disjoint_untouched(self):
+        assert _carve([(0, 50), (100, 50)], 200, 10) == [(0, 50), (100, 50)]
+
+    def test_spanning_multiple(self):
+        assert _carve([(0, 50), (50, 50)], 40, 20) == [(0, 40), (60, 40)]
+
+    def test_overlap_partial(self):
+        # carve range extends past the free block: clamp to overlap
+        assert _carve([(0, 50)], 40, 30) == [(0, 40)]
+
+
+class TestLayout:
+    def test_regions_ordered(self):
+        assert REGISTRY_START < LANES_START < HEAP_START
+
+    def test_heap_start_aligned(self):
+        assert HEAP_START % 64 == 0
+
+    def test_lane_assignment_wraps(self):
+        objpool = PmemObjPool.create("lanes", 1 << 20)
+        for tid in range(LANE_COUNT * 2):
+            assert objpool.lane_base(tid) == \
+                objpool.lane_base(tid + LANE_COUNT)
+
+    def test_negative_tid_tolerated(self):
+        objpool = PmemObjPool.create("lanes", 1 << 20)
+        assert objpool.lane_base(-1) == objpool.lane_base(0)
+
+
+class TestRecoveryAfterManyOps:
+    def test_alloc_free_churn_then_reopen(self):
+        objpool = PmemObjPool.create("churn", 1 << 20)
+        live = []
+        for round_index in range(10):
+            live.append(objpool.allocator.alloc(64 + round_index * 32))
+            if len(live) > 3:
+                objpool.allocator.free(live.pop(0))
+        objpool.pool.memory.persist_all()
+        reopened = PmemObjPool.open_from_image(
+            "churn2", objpool.pool.crash_image())
+        for off in live:
+            assert reopened.allocator.is_allocated(off)
+        assert reopened.allocator.allocated_bytes == \
+            objpool.allocator.allocated_bytes
+
+    def test_reopened_pool_allocates_fresh_space(self):
+        objpool = PmemObjPool.create("fresh", 1 << 20)
+        first = objpool.allocator.alloc(64)
+        objpool.pool.memory.persist_all()
+        reopened = PmemObjPool.open_from_image(
+            "fresh2", objpool.pool.crash_image())
+        second = reopened.allocator.alloc(64)
+        assert second != first

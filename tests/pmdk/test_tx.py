@@ -1,0 +1,149 @@
+"""Mini-PMDK transaction tests (undo logging, no isolation)."""
+
+import pytest
+
+from repro.instrument import InstrumentationContext, PmView
+from repro.pmdk import PmemObjPool, Transaction, TransactionError
+
+
+@pytest.fixture
+def objpool():
+    return PmemObjPool.create("tx", 1 << 20)
+
+
+@pytest.fixture
+def view(objpool):
+    return PmView(objpool.pool, None, InstrumentationContext())
+
+
+class TestCommitAbort:
+    def test_commit_keeps_changes(self, objpool, view):
+        root = objpool.root(64)
+        with Transaction(objpool, view) as tx:
+            tx.add_range(root, 8)
+            view.store_u64(root, 42)
+        assert view.load_u64(root) == 42
+
+    def test_abort_rolls_back(self, objpool, view):
+        root = objpool.root(64)
+        view.ntstore_u64(root, 7)
+        tx = Transaction(objpool, view).begin()
+        tx.add_range(root, 8)
+        view.store_u64(root, 42)
+        tx.abort()
+        assert view.load_u64(root) == 7
+
+    def test_exception_aborts(self, objpool, view):
+        root = objpool.root(64)
+        with pytest.raises(ValueError):
+            with Transaction(objpool, view) as tx:
+                tx.add_range(root, 8)
+                view.store_u64(root, 42)
+                raise ValueError("boom")
+        assert view.load_u64(root) == 0
+
+    def test_abort_reverses_entry_order(self, objpool, view):
+        root = objpool.root(64)
+        tx = Transaction(objpool, view).begin()
+        tx.add_range(root, 8)
+        view.store_u64(root, 1)
+        tx.add_range(root, 8)  # second snapshot captures value 1
+        view.store_u64(root, 2)
+        tx.abort()
+        assert view.load_u64(root) == 0  # oldest pre-image wins
+
+    def test_add_range_outside_tx(self, objpool, view):
+        tx = Transaction(objpool, view)
+        with pytest.raises(TransactionError):
+            tx.add_range(0, 8)
+
+    def test_double_begin(self, objpool, view):
+        tx = Transaction(objpool, view).begin()
+        with pytest.raises(TransactionError):
+            tx.begin()
+
+    def test_large_range_chunked(self, objpool, view):
+        root = objpool.root(64)
+        base = objpool.allocator.alloc(256)
+        view.ntstore_bytes(base, b"A" * 256)
+        with Transaction(objpool, view) as tx:
+            tx.add_range(base, 256)
+            view.store_bytes(base, b"B" * 256)
+        assert view.load_bytes(base, 256) == b"B" * 256
+
+    def test_lane_overflow(self, objpool, view):
+        tx = Transaction(objpool, view).begin()
+        with pytest.raises(TransactionError):
+            for _ in range(100):
+                tx.add_range(objpool.root(64), 8)
+
+
+class TestTxAlloc:
+    def test_alloc_inside_tx(self, objpool, view):
+        with Transaction(objpool, view) as tx:
+            off = tx.tx_alloc(64)
+        assert objpool.allocator.is_allocated(off)
+
+    def test_alloc_undone_on_abort(self, objpool, view):
+        tx = Transaction(objpool, view).begin()
+        off = tx.tx_alloc(64)
+        tx.abort()
+        assert not objpool.allocator.is_allocated(off)
+
+    def test_tx_free(self, objpool, view):
+        off = objpool.allocator.alloc(64)
+        with Transaction(objpool, view) as tx:
+            tx.tx_free(off)
+        assert not objpool.allocator.is_allocated(off)
+
+    def test_alloc_outside_tx(self, objpool, view):
+        with pytest.raises(TransactionError):
+            Transaction(objpool, view).tx_alloc(8)
+
+
+class TestCrashRecovery:
+    def test_uncommitted_tx_rolled_back_on_open(self, objpool, view):
+        root = objpool.root(64)
+        view.ntstore_u64(root, 5)
+        tx = Transaction(objpool, view).begin()
+        tx.add_range(root, 8)
+        view.store_u64(root, 99)
+        view.persist(root, 8)  # the dirty value even hits PM
+        image = objpool.pool.crash_image()
+        reopened = PmemObjPool.open_from_image("r", image)
+        assert reopened.pool.read_u64(root) == 5
+
+    def test_committed_tx_survives(self, objpool, view):
+        root = objpool.root(64)
+        with Transaction(objpool, view) as tx:
+            tx.add_range(root, 8)
+            view.store_u64(root, 99)
+        view.persist(root, 8)
+        reopened = PmemObjPool.open_from_image(
+            "r", objpool.pool.crash_image())
+        assert reopened.pool.read_u64(root) == 99
+
+    def test_no_isolation(self, objpool, view):
+        """PM writes inside transactions are immediately visible (§4.4)."""
+        root = objpool.root(64)
+        tx = Transaction(objpool, view).begin()
+        tx.add_range(root, 8)
+        view.store_u64(root, 77)
+        # another "thread" (same view here) sees the uncommitted value
+        assert view.load_u64(root) == 77
+        tx.commit()
+
+    def test_rollback_through_view_records_writes(self, objpool, view):
+        from repro.detect.postfailure import WriteRecorder
+        root = objpool.root(64)
+        tx = Transaction(objpool, view).begin()
+        tx.add_range(root, 8)
+        view.store_u64(root, 99)
+        image = objpool.pool.crash_image()
+        ctx = InstrumentationContext()
+        recorder = ctx.add_observer(WriteRecorder())
+        from repro.pmem import PmemPool
+        pool = PmemPool.from_image("r", image)
+        rec_view = PmView(pool, None, ctx)
+        PmemObjPool.attach(pool, rec_view)
+        assert recorder.covers(root, 8)

@@ -1,0 +1,102 @@
+"""Cache-line geometry tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pmem.cacheline import (
+    CACHE_LINE_SIZE,
+    LineState,
+    align_down,
+    align_up,
+    line_bounds,
+    line_of,
+    line_range,
+)
+
+
+class TestLineOf:
+    def test_zero(self):
+        assert line_of(0) == 0
+
+    def test_within_first_line(self):
+        assert line_of(63) == 0
+
+    def test_second_line(self):
+        assert line_of(64) == 1
+
+    def test_large(self):
+        assert line_of(64 * 1000 + 5) == 1000
+
+
+class TestLineRange:
+    def test_single_byte(self):
+        assert list(line_range(0, 1)) == [0]
+
+    def test_full_line(self):
+        assert list(line_range(0, 64)) == [0]
+
+    def test_crossing(self):
+        assert list(line_range(60, 8)) == [0, 1]
+
+    def test_multiple_lines(self):
+        assert list(line_range(0, 200)) == [0, 1, 2, 3]
+
+    def test_empty(self):
+        assert list(line_range(10, 0)) == []
+
+    def test_negative_size(self):
+        assert list(line_range(10, -5)) == []
+
+    def test_aligned_end_not_included(self):
+        # [64, 128) touches only line 1.
+        assert list(line_range(64, 64)) == [1]
+
+
+class TestBoundsAndAlign:
+    def test_line_bounds(self):
+        assert line_bounds(0) == (0, 64)
+        assert line_bounds(3) == (192, 256)
+
+    def test_align_down(self):
+        assert align_down(0) == 0
+        assert align_down(63) == 0
+        assert align_down(64) == 64
+        assert align_down(130) == 128
+
+    def test_align_up(self):
+        assert align_up(0) == 0
+        assert align_up(1) == 64
+        assert align_up(64) == 64
+        assert align_up(65) == 128
+
+    def test_align_custom(self):
+        assert align_down(13, 8) == 8
+        assert align_up(13, 8) == 16
+
+    @given(st.integers(min_value=0, max_value=1 << 40))
+    def test_align_roundtrip(self, addr):
+        down = align_down(addr)
+        up = align_up(addr)
+        assert down <= addr <= up
+        assert down % CACHE_LINE_SIZE == 0
+        assert up % CACHE_LINE_SIZE == 0
+        assert up - down in (0, CACHE_LINE_SIZE)
+
+    @given(st.integers(min_value=0, max_value=1 << 30),
+           st.integers(min_value=1, max_value=1024))
+    def test_line_range_covers_access(self, addr, size):
+        lines = list(line_range(addr, size))
+        assert lines[0] == line_of(addr)
+        assert lines[-1] == line_of(addr + size - 1)
+        assert lines == sorted(lines)
+
+
+class TestLineState:
+    def test_states_distinct(self):
+        assert len({LineState.CLEAN, LineState.DIRTY, LineState.PENDING}) == 3
+
+    def test_value_names(self):
+        assert LineState.CLEAN.value == "clean"
+        assert LineState.DIRTY.value == "dirty"
+        assert LineState.PENDING.value == "pending"

@@ -1,0 +1,53 @@
+"""StructLayout tests."""
+
+import pytest
+
+from repro.pmem import PmemError, StructLayout
+
+
+class TestStructLayout:
+    def test_default_u64_fields(self):
+        layout = StructLayout("node", ["a", "b", "c"])
+        assert layout.off(0, "a") == 0
+        assert layout.off(0, "b") == 8
+        assert layout.off(0, "c") == 16
+
+    def test_base_offset(self):
+        layout = StructLayout("node", ["a", "b"])
+        assert layout.off(1000, "b") == 1008
+
+    def test_sized_fields(self):
+        layout = StructLayout("item", [("hdr", 8), ("key", 16), ("val", 32)])
+        assert layout.off(0, "key") == 8
+        assert layout.off(0, "val") == 24
+        assert layout.field_size("val") == 32
+
+    def test_total_size_aligned(self):
+        layout = StructLayout("node", ["a"])
+        assert layout.size == 64
+
+    def test_natural_alignment(self):
+        layout = StructLayout("mixed", [("flag", 1), ("word", 8)])
+        assert layout.off(0, "word") == 8
+
+    def test_u32_alignment(self):
+        layout = StructLayout("mixed", [("b", 1), ("w", 4)])
+        assert layout.off(0, "w") == 4
+
+    def test_duplicate_field(self):
+        with pytest.raises(PmemError):
+            StructLayout("dup", ["a", "a"])
+
+    def test_unknown_field(self):
+        layout = StructLayout("node", ["a"])
+        with pytest.raises(PmemError):
+            layout.off(0, "zzz")
+
+    def test_contains(self):
+        layout = StructLayout("node", ["a"])
+        assert "a" in layout
+        assert "b" not in layout
+
+    def test_custom_align(self):
+        layout = StructLayout("tight", ["a"], align=8)
+        assert layout.size == 8

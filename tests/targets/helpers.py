@@ -1,0 +1,22 @@
+"""Helpers for single-threaded target functional tests."""
+
+from repro.instrument import InstrumentationContext, PmView
+
+
+def open_single(target):
+    """(state, view, instance) wired for single-threaded driver use."""
+    state = target.setup()
+    view = PmView(state.pool, None, InstrumentationContext())
+    instance = target.open(state, view, None)
+    return state, view, instance
+
+
+def recover_from(target_cls, state):
+    """Crash the pool now and run recovery; returns (pool, view, target)."""
+    from repro.pmem import PmemPool
+    image = state.pool.crash_image()
+    pool = PmemPool.from_image("recovered", image)
+    view = PmView(pool, None, InstrumentationContext())
+    target = target_cls()
+    target.recover(pool, view)
+    return pool, view, target

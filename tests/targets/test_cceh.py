@@ -1,0 +1,122 @@
+"""CCEH functional and bug-site tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.targets import CcehTarget
+from repro.targets.cceh import D_CAPACITY, D_GLOBAL_DEPTH, R_DIR, S_LOCK
+
+from .helpers import open_single, recover_from
+
+
+@pytest.fixture
+def cceh():
+    _state, _view, instance = open_single(CcehTarget())
+    return instance
+
+
+class TestFunctional:
+    def test_insert_get(self, cceh):
+        assert cceh.insert(5, 50)
+        assert cceh.get(5) == 50
+
+    def test_get_missing(self, cceh):
+        assert cceh.get(5) is None
+
+    def test_overwrite(self, cceh):
+        cceh.insert(5, 50)
+        cceh.insert(5, 51)
+        assert cceh.get(5) == 51
+
+    def test_delete(self, cceh):
+        cceh.insert(5, 50)
+        assert cceh.delete(5)
+        assert cceh.get(5) is None
+
+    def test_delete_missing(self, cceh):
+        assert not cceh.delete(5)
+
+    def test_split_preserves_items(self, cceh):
+        for key in range(24):
+            assert cceh.insert(key, key * 2)
+        for key in range(24):
+            assert cceh.get(key) == key * 2
+
+    def test_directory_doubles(self, cceh):
+        view = cceh.view
+        start_depth = int(view.load_u64(cceh._dir() + D_GLOBAL_DEPTH))
+        for key in range(30):
+            cceh.insert(key, key)
+        end_depth = int(view.load_u64(cceh._dir() + D_GLOBAL_DEPTH))
+        assert end_depth > start_depth
+        capacity = int(view.load_u64(cceh._dir() + D_CAPACITY))
+        assert capacity == 1 << end_depth
+
+    def test_locks_released_after_ops(self, cceh):
+        cceh.insert(3, 1)
+        _dir, _cap, _idx, seg = cceh._segment_for(3)
+        assert cceh.view.pool.read_u64(seg + S_LOCK) == 0
+
+
+class TestRecovery:
+    def test_segment_locks_survive_recovery(self):
+        """Bug 6: recovery never releases persistent segment locks."""
+        target = CcehTarget()
+        state, view, instance = open_single(target)
+        instance.insert(1, 1)
+        _dir, _cap, _idx, seg = instance._segment_for(1)
+        view.ntstore_u64(seg + S_LOCK, 1)  # crash with the lock held
+        view.sfence()
+        pool, _rview, _rtarget = recover_from(CcehTarget, state)
+        assert pool.read_u64(seg + S_LOCK) == 1
+
+    def test_dir_lock_reinitialized(self):
+        from repro.targets.cceh import R_DIR_LOCK
+        target = CcehTarget()
+        state, view, instance = open_single(target)
+        view.ntstore_u64(instance.root + R_DIR_LOCK, 1)
+        view.sfence()
+        pool, _rview, _rtarget = recover_from(CcehTarget, state)
+        assert pool.read_u64(instance.root + R_DIR_LOCK) == 0
+
+    def test_recovered_directory_readable(self):
+        target = CcehTarget()
+        state, view, instance = open_single(target)
+        for key in range(10):
+            instance.insert(key, key + 7)
+        state.pool.memory.persist_all()
+        pool, rview, rtarget = recover_from(CcehTarget, state)
+        objpool, root = rtarget._recovered
+        from repro.targets.base import TargetState
+        from repro.targets.cceh import CcehInstance
+        rstate = TargetState(pool, extras={"objpool": objpool, "root": root})
+        rinstance = CcehInstance(rtarget, rstate, rview, None)
+        for key in range(10):
+            assert rinstance.get(key) == key + 7
+
+    def test_annotations(self):
+        state = CcehTarget().setup()
+        assert state.annotations.annotation_count == 2
+        names = {a.name for a in state.annotations.types()}
+        assert names == {"segment_lock", "dir_lock"}
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from(["put", "get", "delete"]),
+                          st.integers(0, 23), st.integers(0, 999)),
+                max_size=60))
+def test_property_matches_dict(ops):
+    _state, _view, cceh = open_single(CcehTarget())
+    model = {}
+    for kind, key, value in ops:
+        if kind == "put":
+            if cceh.insert(key, value):
+                model[key] = value
+        elif kind == "get":
+            assert cceh.get(key) == model.get(key)
+        else:
+            assert cceh.delete(key) == (key in model)
+            model.pop(key, None)
+    for key, value in model.items():
+        assert cceh.get(key) == value

@@ -1,0 +1,101 @@
+"""Property tests: single-threaded crash recovery never corrupts state.
+
+For each hash-index target: run a random single-threaded workload,
+crash at the end (drop all non-persisted lines), run the target's
+recovery on the image, and check that every key the recovered structure
+returns maps to a value that was actually written for it at some point
+(no fabricated data), and that recovery itself never raises.
+
+(Stronger guarantees — no lost *persisted* data — are exactly what the
+seeded bugs violate under concurrency, so they are not asserted here.)
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.instrument import InstrumentationContext, PmView
+from repro.pmem import PmemPool
+from repro.targets import CcehTarget, MemcachedTarget, PclhtTarget
+from repro.targets.base import TargetState
+
+from .helpers import open_single
+
+OPS = st.lists(st.tuples(st.sampled_from(["put", "delete"]),
+                         st.integers(0, 15), st.integers(1, 999)),
+               min_size=1, max_size=40)
+
+
+def crash_and_recover(target_cls, state):
+    image = state.pool.crash_image()
+    pool = PmemPool.from_image("crash", image)
+    view = PmView(pool, None, InstrumentationContext())
+    target = target_cls()
+    target.recover(pool, view)
+    return pool, view, target
+
+
+@settings(max_examples=20, deadline=None)
+@given(OPS)
+def test_pclht_recovery_no_fabricated_data(ops):
+    from repro.targets.pclht import PclhtInstance
+    target = PclhtTarget()
+    state, _view, instance = open_single(target)
+    written = {}
+    for kind, key, value in ops:
+        if kind == "put" and instance.put(key, value):
+            written.setdefault(key, set()).add(value)
+        elif kind == "delete":
+            instance.delete(key)
+    pool, rview, rtarget = crash_and_recover(PclhtTarget, state)
+    objpool, root = rtarget._recovered
+    rstate = TargetState(pool, extras={"objpool": objpool, "root": root})
+    recovered = PclhtInstance(rtarget, rstate, rview, None)
+    for key in range(16):
+        value = recovered.get(key)
+        if value is not None:
+            assert value in written.get(key, set())
+
+
+@settings(max_examples=20, deadline=None)
+@given(OPS)
+def test_cceh_recovery_no_fabricated_data(ops):
+    from repro.targets.cceh import CcehInstance
+    target = CcehTarget()
+    state, _view, instance = open_single(target)
+    written = {}
+    for kind, key, value in ops:
+        if kind == "put" and instance.insert(key, value):
+            written.setdefault(key, set()).add(value)
+        elif kind == "delete":
+            instance.delete(key)
+    pool, rview, rtarget = crash_and_recover(CcehTarget, state)
+    objpool, root = rtarget._recovered
+    rstate = TargetState(pool, extras={"objpool": objpool, "root": root})
+    recovered = CcehInstance(rtarget, rstate, rview, None)
+    for key in range(16):
+        value = recovered.get(key)
+        if value is not None:
+            assert value in written.get(key, set())
+
+
+@settings(max_examples=15, deadline=None)
+@given(OPS)
+def test_memcached_recovery_values_checksummed(ops):
+    target = MemcachedTarget()
+    state, view, instance = open_single(target)
+    written = {}
+    for kind, key, value in ops:
+        payload = str(value).encode()
+        if kind == "put" and instance.cmd_store("set", key, payload):
+            written.setdefault(key, set()).add(payload)
+        elif kind == "delete":
+            instance.cmd_delete(key)
+    pool, rview, rtarget = crash_and_recover(MemcachedTarget, state)
+    # every surviving item passed its checksum: its value was written
+    from repro.targets.memcached import IT_KEY, IT_NBYTES, IT_VALUE, VALUE_CAP
+    for addr in rtarget._recovered:
+        key = pool.read_u64(addr + IT_KEY) - 1
+        nbytes = min(pool.read_u64(addr + IT_NBYTES), VALUE_CAP)
+        value = pool.read_bytes(addr + IT_VALUE, nbytes)
+        assert value in written.get(key, set())

@@ -1,0 +1,142 @@
+"""FAST-FAIR B+-tree functional and bug-site tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.targets import FastFairTarget
+from repro.targets.fastfair import CARD, N_NUM, N_SIBLING, R_ROOT
+
+from .helpers import open_single, recover_from
+
+
+@pytest.fixture
+def tree():
+    _state, _view, instance = open_single(FastFairTarget())
+    return instance
+
+
+class TestFunctional:
+    def test_insert_search(self, tree):
+        assert tree.insert(5, 50)
+        assert tree.search(5) == 50
+
+    def test_search_missing(self, tree):
+        assert tree.search(5) is None
+
+    def test_overwrite(self, tree):
+        tree.insert(5, 50)
+        tree.insert(5, 51)
+        assert tree.search(5) == 51
+
+    def test_delete(self, tree):
+        tree.insert(5, 50)
+        assert tree.delete(5)
+        assert tree.search(5) is None
+
+    def test_delete_missing(self, tree):
+        assert not tree.delete(5)
+
+    def test_split_preserves_items(self, tree):
+        for key in range(1, 30):
+            assert tree.insert(key, key * 3)
+        for key in range(1, 30):
+            assert tree.search(key) == key * 3
+
+    def test_reverse_insertion_order(self, tree):
+        for key in range(30, 0, -1):
+            assert tree.insert(key, key)
+        for key in range(1, 31):
+            assert tree.search(key) == key
+
+    def test_leaf_entries_sorted_after_shifts(self, tree):
+        import random
+        keys = list(range(1, 20))
+        random.Random(3).shuffle(keys)
+        for key in keys:
+            tree.insert(key, key)
+        # walk the leaf chain and check global ordering
+        view = tree.view
+        node = int(view.load_u64(tree.root + R_ROOT))
+        while not int(view.load_u64(node + 8)):  # N_IS_LEAF
+            node = int(view.load_u64(node + 64 + 8))  # first child
+        seen = []
+        while node:
+            num = int(view.load_u64(node + N_NUM))
+            seen.extend(int(view.load_u64(node + 64 + i * 16))
+                        for i in range(num))
+            node = int(view.load_u64(node + N_SIBLING))
+        assert seen == sorted(seen)
+        assert set(seen) == set(keys)
+
+    def test_root_split_creates_inner_node(self, tree):
+        for key in range(1, CARD + 3):
+            tree.insert(key, key)
+        view = tree.view
+        root_node = int(view.load_u64(tree.root + R_ROOT))
+        assert not int(view.load_u64(root_node + 8))  # not a leaf anymore
+
+
+class TestRecovery:
+    def test_recovery_is_lazy(self):
+        """FAST-FAIR writes nothing during immediate recovery (§4.4)."""
+        from repro.detect.postfailure import WriteRecorder
+        from repro.instrument import InstrumentationContext, PmView
+        from repro.pmem import PmemPool
+        target = FastFairTarget()
+        state, _view, instance = open_single(target)
+        instance.insert(1, 1)
+        state.pool.memory.persist_all()
+        image = state.pool.crash_image()
+        pool = PmemPool.from_image("ff", image)
+        ctx = InstrumentationContext()
+        recorder = ctx.add_observer(WriteRecorder())
+        FastFairTarget().recover(pool, PmView(pool, None, ctx))
+        assert recorder.intervals == []
+
+    def test_recovered_tree_searchable(self):
+        target = FastFairTarget()
+        state, _view, instance = open_single(target)
+        for key in range(1, 15):
+            instance.insert(key, key + 5)
+        state.pool.memory.persist_all()
+        pool, rview, rtarget = recover_from(FastFairTarget, state)
+        objpool, root = rtarget._recovered
+        from repro.targets.base import TargetState
+        from repro.targets.fastfair import FastFairInstance
+        rstate = TargetState(pool, extras={"objpool": objpool, "root": root})
+        rinstance = FastFairInstance(rtarget, rstate, rview, None)
+        for key in range(1, 15):
+            assert rinstance.search(key) == key + 5
+
+    def test_unflushed_sibling_pointer_lost(self):
+        """Bug 8's consequence: items behind a dirty sibling are lost."""
+        target = FastFairTarget()
+        state, view, instance = open_single(target)
+        for key in range(1, CARD + 2):  # forces one leaf split
+            instance.insert(key, key)
+        # simulate the crash window: drop all non-persisted lines
+        pool, rview, rtarget = recover_from(FastFairTarget, state)
+        # the recovered tree is *consistent* only for persisted data; at
+        # minimum it opens without error
+        assert pool.read_u64(8) != 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from(["put", "get", "delete"]),
+                          st.integers(1, 40), st.integers(0, 999)),
+                max_size=60))
+def test_property_matches_dict(ops):
+    _state, _view, tree = open_single(FastFairTarget())
+    model = {}
+    for kind, key, value in ops:
+        if kind == "put":
+            if tree.insert(key, value):
+                model[key] = value
+        elif kind == "get":
+            assert tree.search(key) == model.get(key)
+        else:
+            assert tree.delete(key) == (key in model)
+            model.pop(key, None)
+    for key, value in model.items():
+        assert tree.search(key) == value

@@ -1,0 +1,204 @@
+"""memcached-pmem functional, protocol, and recovery tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.targets import MemcachedTarget
+from repro.targets.memcached import (
+    FLAG_LINKED,
+    IT_FLAGS,
+    IT_VALUE,
+    NUM_SLOTS,
+)
+
+from .helpers import open_single
+
+
+@pytest.fixture
+def mc():
+    _state, _view, instance = open_single(MemcachedTarget())
+    return instance
+
+
+class TestCommands:
+    def test_set_get(self, mc):
+        assert mc.cmd_store("set", 1, b"123")
+        assert mc.cmd_get(1) == b"123"
+
+    def test_get_missing(self, mc):
+        assert mc.cmd_get(1) is None
+
+    def test_add_only_when_absent(self, mc):
+        assert mc.cmd_store("add", 1, b"5")
+        assert not mc.cmd_store("add", 1, b"6")
+        assert mc.cmd_get(1) == b"5"
+
+    def test_replace_only_when_present(self, mc):
+        assert not mc.cmd_store("replace", 1, b"5")
+        mc.cmd_store("set", 1, b"5")
+        assert mc.cmd_store("replace", 1, b"6")
+        assert mc.cmd_get(1) == b"6"
+
+    def test_append_prepend(self, mc):
+        mc.cmd_store("set", 1, b"mid")
+        assert mc.cmd_store("append", 1, b"-end")
+        assert mc.cmd_store("prepend", 1, b"start-")
+        assert mc.cmd_get(1) == b"start-mid-end"
+
+    def test_append_missing(self, mc):
+        assert not mc.cmd_store("append", 1, b"x")
+
+    def test_incr_decr(self, mc):
+        mc.cmd_store("set", 1, b"10")
+        assert mc.cmd_arith(1, 5) == 15
+        assert mc.cmd_arith(1, 3, negate=True) == 12
+        assert mc.cmd_get(1) == b"12"
+
+    def test_decr_clamps_at_zero(self, mc):
+        mc.cmd_store("set", 1, b"2")
+        assert mc.cmd_arith(1, 10, negate=True) == 0
+
+    def test_incr_non_numeric(self, mc):
+        mc.cmd_store("set", 1, b"abc")
+        assert mc.cmd_arith(1, 1) is None
+
+    def test_delete(self, mc):
+        mc.cmd_store("set", 1, b"x")
+        assert mc.cmd_delete(1)
+        assert mc.cmd_get(1) is None
+        assert not mc.cmd_delete(1)
+
+    def test_eviction_when_full(self, mc):
+        for key in range(NUM_SLOTS + 4):
+            assert mc.cmd_store("set", key, b"v%d" % key)
+        # the most recent keys survive; something was evicted
+        assert mc.cmd_get(NUM_SLOTS + 3) is not None
+        missing = sum(1 for key in range(NUM_SLOTS + 4)
+                      if mc.cmd_get(key, bump=False) is None)
+        assert missing >= 4
+
+
+class TestProtocol:
+    def test_process_command_set_get(self, mc):
+        assert mc.process_command("set key1 0 0 2 42") == "STORED"
+        assert mc.process_command("get key1") == "VALUE"
+
+    def test_process_command_error(self, mc):
+        assert mc.process_command("bogus nonsense") == "ERROR"
+        assert mc.stats["cmd_errors"] == 1
+
+    def test_dispatch_tracks_current_command(self, mc):
+        mc.dispatch({"op": "set", "key": 1, "value": 9})
+        assert mc.current_command == "set"
+        mc.dispatch({"op": "get", "key": 1})
+        assert mc.current_command == "get"
+
+    def test_all_command_kinds_dispatch(self, mc):
+        space = MemcachedTarget().operation_space()
+        import random
+        rng = random.Random(1)
+        for kind in space.kinds:
+            op = {"op": kind, "key": 1}
+            if kind in ("set", "add", "replace", "append", "prepend"):
+                op["value"] = 7
+            elif kind in ("incr", "decr"):
+                op["value"] = 2
+            assert mc.dispatch(op) != "ERROR" or kind in ("incr", "decr")
+
+
+class TestRecovery:
+    def run_recovery(self, state):
+        from repro.instrument import InstrumentationContext, PmView
+        from repro.pmem import PmemPool
+        image = state.pool.crash_image()
+        pool = PmemPool.from_image("mc-r", image)
+        view = PmView(pool, None, InstrumentationContext())
+        target = MemcachedTarget()
+        target.recover(pool, view)
+        return pool, target
+
+    def test_rebuild_restores_index(self):
+        target = MemcachedTarget()
+        state, _view, mc = open_single(target)
+        for key in range(4):
+            mc.cmd_store("set", key, b"%d" % key)
+        state.pool.memory.persist_all()
+        pool, rtarget = self.run_recovery(state)
+        from repro.targets.base import TargetState
+        from repro.instrument import InstrumentationContext, PmView
+        rview = PmView(pool, None, InstrumentationContext())
+        rmc = MemcachedTarget().open(TargetState(pool), rview, None)
+        for key in range(4):
+            assert rmc.cmd_get(key, bump=False) == b"%d" % key
+
+    def test_torn_value_dropped(self):
+        """Checksum-mismatched items are dropped by the rebuild."""
+        target = MemcachedTarget()
+        state, view, mc = open_single(target)
+        mc.cmd_store("set", 1, b"sound")
+        state.pool.memory.persist_all()
+        item = mc.index[1]
+        # corrupt the persisted value without updating the checksum
+        state.pool.memory.store(item + IT_VALUE, b"torn!", None, "corrupt",
+                                ntstore=True)
+        pool, rtarget = self.run_recovery(state)
+        assert rtarget._recovered == []
+
+    def test_rebuild_rewrites_links(self):
+        from repro.detect.postfailure import WriteRecorder
+        from repro.instrument import InstrumentationContext, PmView
+        from repro.pmem import PmemPool
+        target = MemcachedTarget()
+        state, _view, mc = open_single(target)
+        mc.cmd_store("set", 1, b"a")
+        mc.cmd_store("set", 2, b"b")
+        state.pool.memory.persist_all()
+        pool = PmemPool.from_image("mc-r", state.pool.crash_image())
+        ctx = InstrumentationContext()
+        recorder = ctx.add_observer(WriteRecorder())
+        MemcachedTarget().recover(pool, PmView(pool, None, ctx))
+        for item in (mc.index[1], mc.index[2]):
+            assert recorder.covers(item, 16)       # next+prev rewritten
+            assert not recorder.covers(item + IT_FLAGS, 8)
+
+    def test_unlinked_items_skipped(self):
+        target = MemcachedTarget()
+        state, view, mc = open_single(target)
+        mc.cmd_store("set", 1, b"a")
+        mc.cmd_delete(1)
+        state.pool.memory.persist_all()
+        _pool, rtarget = self.run_recovery(state)
+        assert rtarget._recovered == []
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.tuples(
+    st.sampled_from(["set", "get", "delete", "incr"]),
+    st.integers(0, 9), st.integers(0, 999)), max_size=40))
+def test_property_matches_dict(ops):
+    _state, _view, mc = open_single(MemcachedTarget())
+    model = {}
+    for kind, key, value in ops:
+        if kind == "set":
+            if mc.cmd_store("set", key, str(value).encode()):
+                model[key] = value
+        elif kind == "get":
+            got = mc.cmd_get(key, bump=False)
+            if key in model:
+                assert got == str(model[key]).encode()
+            else:
+                assert got is None
+        elif kind == "incr":
+            result = mc.cmd_arith(key, value)
+            if key in model:
+                model[key] += value
+                assert result == model[key]
+            else:
+                assert result is None
+        else:
+            assert mc.cmd_delete(key) == (key in model)
+            model.pop(key, None)
+    # fewer than NUM_SLOTS keys: no eviction, everything must be present
+    for key, value in model.items():
+        assert mc.cmd_get(key, bump=False) == str(value).encode()

@@ -1,0 +1,106 @@
+"""memcached text-protocol edge cases and mutator interplay."""
+
+import random
+
+import pytest
+
+from repro.core import AflByteMutator
+from repro.targets import MemcachedOperationSpace, MemcachedTarget
+
+from .helpers import open_single
+
+
+@pytest.fixture
+def space():
+    return MemcachedOperationSpace()
+
+
+class TestParseEdgeCases:
+    @pytest.mark.parametrize("line", [
+        "",                       # empty
+        "set",                    # missing key
+        "set key1",               # missing fields
+        "set key1 0 0 5",         # missing payload
+        "set key1 0 0 x 5",       # non-numeric byte count
+        "set keyA 0 0 1 5",       # non-numeric key suffix
+        "set key1 1 0 1 5",       # nonzero flags rejected (simplified)
+        "set key1 0 0 1 5 extra",  # trailing token
+        "get",                    # missing key
+        "get key1 extra",         # trailing token
+        "incr key1",              # missing delta
+        "incr key1 -3",           # negative delta
+        "incr key1 x",            # non-numeric delta
+        "delete nope",            # bad key prefix
+        "flush_all",              # unknown command
+        "SET key1 0 0 1 5",       # case-sensitive
+    ])
+    def test_invalid_lines(self, space, line):
+        assert space.parse_line(line) is None
+
+    @pytest.mark.parametrize("line,expected_kind", [
+        ("get key0", "get"),
+        ("bget key23", "bget"),
+        ("set key1 0 0 3 123", "set"),
+        ("add key1 0 0 1 7", "add"),
+        ("replace key1 0 0 2 42", "replace"),
+        ("append key1 0 0 1 9", "append"),
+        ("prepend key1 0 0 1 9", "prepend"),
+        ("incr key1 10", "incr"),
+        ("decr key1 1", "decr"),
+        ("delete key1", "delete"),
+    ])
+    def test_valid_lines(self, space, line, expected_kind):
+        op = space.parse_line(line)
+        assert op is not None
+        assert op["op"] == expected_kind
+
+    def test_key_wraps_modulo_range(self, space):
+        op = space.parse_line("get key1000")
+        assert 0 <= op["key"] < space.key_range
+
+    def test_parse_blob_counts_errors(self, space):
+        ops, invalid = space.parse(b"get key1\r\njunk\r\nset key1 0 0 1 5")
+        assert len(ops) == 2
+        assert invalid == 1
+
+
+class TestEndToEndProtocol:
+    def test_full_session(self):
+        _state, _view, mc = open_single(MemcachedTarget())
+        script = [
+            ("set key1 0 0 2 42", "STORED"),
+            ("get key1", "VALUE"),
+            ("bget key1", "VALUE"),
+            ("append key1 0 0 1 9", "STORED"),
+            ("incr key2 5", "NOT_FOUND"),
+            ("set key2 0 0 2 10", "STORED"),
+            ("incr key2 5", "15"),
+            ("decr key2 20", "0"),
+            ("delete key1", "DELETED"),
+            ("delete key1", "NOT_FOUND"),
+            ("get key1", "END"),
+            ("oops", "ERROR"),
+        ]
+        for line, expected in script:
+            assert mc.process_command(line) == expected, line
+
+    def test_afl_generated_bytes_never_crash(self):
+        """Robustness: any havoc-mutated blob must be handled."""
+        _state, _view, mc = open_single(MemcachedTarget())
+        space = MemcachedOperationSpace()
+        afl = AflByteMutator(space, rng=random.Random(11))
+        data = afl.initial_bytes()
+        for _ in range(40):
+            data = afl.mutate_bytes(data)
+            for line in data.decode("utf-8", "replace").splitlines():
+                mc.process_command(line.strip())
+
+    def test_value_cap_enforced(self):
+        from repro.targets.memcached import VALUE_CAP
+        _state, _view, mc = open_single(MemcachedTarget())
+        mc.cmd_store("set", 1, b"x" * 10)
+        for _ in range(12):
+            mc.cmd_store("append", 1, b"y" * 10)
+        value = mc.cmd_get(1, bump=False)
+        assert value is not None
+        assert len(value) <= VALUE_CAP

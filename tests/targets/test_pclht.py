@@ -1,0 +1,152 @@
+"""P-CLHT functional and bug-site tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.targets import PclhtTarget
+from repro.targets.pclht import (
+    B_LOCK,
+    INITIAL_BUCKETS,
+    R_HT,
+    R_TABLE_NEW,
+    T_HDR,
+    BUCKET_SIZE,
+)
+
+from .helpers import open_single, recover_from
+
+
+@pytest.fixture
+def ht():
+    _state, _view, instance = open_single(PclhtTarget())
+    return instance
+
+
+class TestFunctional:
+    def test_put_get(self, ht):
+        assert ht.put(3, 30)
+        assert ht.get(3) == 30
+
+    def test_get_missing(self, ht):
+        assert ht.get(9) is None
+
+    def test_put_overwrites(self, ht):
+        ht.put(3, 30)
+        ht.put(3, 31)
+        assert ht.get(3) == 31
+
+    def test_delete(self, ht):
+        ht.put(3, 30)
+        assert ht.delete(3)
+        assert ht.get(3) is None
+
+    def test_delete_missing(self, ht):
+        assert not ht.delete(3)
+
+    def test_update_existing(self, ht):
+        ht.put(3, 30)
+        assert ht.update(3, 99)
+        assert ht.get(3) == 99
+
+    def test_key_zero_supported(self, ht):
+        ht.put(0, 5)
+        assert ht.get(0) == 5
+
+    def test_resize_preserves_items(self, ht):
+        for key in range(24):
+            assert ht.put(key, key * 10)
+        assert ht.resizes > 0
+        for key in range(24):
+            assert ht.get(key) == key * 10
+
+    def test_resize_grows_table(self, ht):
+        for key in range(24):
+            ht.put(key, key)
+        table = ht.view.load_u64(ht.root + R_HT)
+        assert int(ht.view.load_u64(int(table))) > INITIAL_BUCKETS
+
+
+class TestBugSites:
+    def test_update_missing_key_leaks_lock(self, ht):
+        """Bug 5: the key-missing path returns with the lock held."""
+        assert not ht.update(7, 1)
+        table = int(ht.view.load_u64(ht.root + R_HT))
+        num = int(ht.view.load_u64(table))
+        bucket = table + T_HDR + (7 % num) * BUCKET_SIZE
+        assert ht.view.pool.read_u64(bucket + B_LOCK) == 1
+
+    def test_exec_op_dispatch(self):
+        target = PclhtTarget()
+        _state, view, instance = open_single(target)
+        assert target.exec_op(instance, view, {"op": "put", "key": 1,
+                                               "value": 2})
+        assert target.exec_op(instance, view, {"op": "get", "key": 1})
+        assert target.exec_op(instance, view, {"op": "delete", "key": 1})
+        assert not target.exec_op(instance, view, {"op": "bogus", "key": 0})
+
+    def test_annotations_registered(self):
+        state = PclhtTarget().setup()
+        assert state.annotations.annotation_count == 4
+        bucket_locks = next(a for a in state.annotations.types()
+                            if a.name == "bucket_lock")
+        assert len(bucket_locks.addrs) == INITIAL_BUCKETS
+
+
+class TestRecovery:
+    def test_global_locks_reinitialized(self):
+        target = PclhtTarget()
+        state, view, instance = open_single(target)
+        instance.put(1, 1)
+        # leave the resize lock held at "crash"
+        from repro.targets.pclht import R_RESIZE_LOCK
+        view.ntstore_u64(instance.root + R_RESIZE_LOCK, 1)
+        view.sfence()
+        pool, _rview, _target = recover_from(PclhtTarget, state)
+        assert pool.read_u64(instance.root + R_RESIZE_LOCK) == 0
+
+    def test_bucket_locks_not_reinitialized(self):
+        """Bug 2's root cause: recovery skips the bucket lock words."""
+        target = PclhtTarget()
+        state, view, instance = open_single(target)
+        table = int(view.load_u64(instance.root + R_HT))
+        lock_addr = table + T_HDR + B_LOCK
+        view.ntstore_u64(lock_addr, 1)
+        view.sfence()
+        pool, _rview, _target = recover_from(PclhtTarget, state)
+        assert pool.read_u64(lock_addr) == 1  # still "held"
+
+    def test_recovered_data_readable(self):
+        target = PclhtTarget()
+        state, view, instance = open_single(target)
+        for key in range(6):
+            instance.put(key, key + 100)
+        state.pool.memory.persist_all()
+        pool, rview, rtarget = recover_from(PclhtTarget, state)
+        objpool, root = rtarget._recovered
+        from repro.targets.base import TargetState
+        from repro.targets.pclht import PclhtInstance
+        rstate = TargetState(pool, extras={"objpool": objpool, "root": root})
+        rinstance = PclhtInstance(rtarget, rstate, rview, None)
+        for key in range(6):
+            assert rinstance.get(key) == key + 100
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from(["put", "get", "delete"]),
+                          st.integers(0, 23), st.integers(0, 999)),
+                max_size=60))
+def test_property_matches_dict(ops):
+    _state, _view, ht = open_single(PclhtTarget())
+    model = {}
+    for kind, key, value in ops:
+        if kind == "put":
+            if ht.put(key, value):
+                model[key] = value
+        elif kind == "get":
+            assert ht.get(key) == model.get(key)
+        else:
+            assert ht.delete(key) == (key in model)
+            model.pop(key, None)
+    for key, value in model.items():
+        assert ht.get(key) == value

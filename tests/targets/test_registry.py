@@ -1,0 +1,45 @@
+"""Target registry tests."""
+
+import pytest
+
+from repro.targets import (
+    TARGET_CLASSES,
+    make_target,
+    table1_rows,
+    target_names,
+)
+
+
+class TestRegistry:
+    def test_five_targets(self):
+        assert len(TARGET_CLASSES) == 5
+
+    def test_names_match_paper(self):
+        assert target_names() == ["P-CLHT", "clevel hashing", "CCEH",
+                                  "FAST-FAIR", "memcached-pmem"]
+
+    def test_make_target(self):
+        target = make_target("P-CLHT")
+        assert target.NAME == "P-CLHT"
+
+    def test_unknown_target(self):
+        with pytest.raises(KeyError):
+            make_target("redis")
+
+    def test_table1_contents(self):
+        rows = table1_rows()
+        by_name = {row["system"]: row for row in rows}
+        assert by_name["P-CLHT"]["version"] == "70bf21c"
+        assert by_name["clevel hashing"]["concurrency"] == "Lock-free"
+        assert by_name["CCEH"]["scope"] == "Extendible hashing"
+        assert by_name["FAST-FAIR"]["scope"] == "B+-Tree"
+        assert by_name["memcached-pmem"]["scope"] == "Key-value store"
+
+    def test_only_memcached_uses_libpmem(self):
+        libpmem = [cls.NAME for cls in TARGET_CLASSES if cls.USES_LIBPMEM]
+        assert libpmem == ["memcached-pmem"]
+
+    def test_all_targets_setup(self):
+        for cls in TARGET_CLASSES:
+            state = cls().setup()
+            assert state.pool.size > 0
