@@ -21,8 +21,10 @@ from .core import (
     OperationMutator,
     PMRace,
     PMRaceConfig,
+    ParallelFuzzService,
     RunResult,
     Seed,
+    WorkerStats,
     fuzz_parallel,
     fuzz_target,
     run_campaign,
@@ -69,6 +71,8 @@ __all__ = [
     "run_campaign",
     "fuzz_target",
     "fuzz_parallel",
+    "ParallelFuzzService",
+    "WorkerStats",
     "InconsistencyChecker",
     "PostFailureValidator",
     "Whitelist",

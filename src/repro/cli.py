@@ -7,6 +7,7 @@ summary tables.
 Commands:
     targets                     list the Table 1 systems
     fuzz <target>               fuzz one target and print its bugs
+    fuzz-parallel <target>      fuzz one target with a worker pool (§5)
     tables                      fuzz everything and print Tables 2/3/5/6
 """
 
@@ -19,13 +20,14 @@ from .core.results import (
     build_table3,
     build_table5,
     build_table6,
+    build_worker_table,
     render_table,
 )
 from .detect.reporting import dump_run_result, load_whitelist
 from .targets import make_target, table1_rows, target_names
 
 
-def _add_fuzz_options(parser):
+def _add_fuzz_options(parser, parallel_flag=True):
     parser.add_argument("--campaigns", type=int, default=80,
                         help="campaigns per seed (default 80)")
     parser.add_argument("--seeds", type=int, nargs="+",
@@ -39,8 +41,9 @@ def _add_fuzz_options(parser):
                         help="simulate an eADR platform (§6.6)")
     parser.add_argument("--whitelist", metavar="FILE",
                         help="extra whitelist entries (one per line)")
-    parser.add_argument("--parallel", type=int, metavar="N", default=0,
-                        help="fuzz with N worker processes (§5)")
+    if parallel_flag:
+        parser.add_argument("--parallel", type=int, metavar="N", default=0,
+                            help="fuzz with N worker processes (§5)")
     parser.add_argument("--output", metavar="FILE",
                         help="write the full JSON report here")
 
@@ -67,12 +70,7 @@ def cmd_targets(_args):
     return 0
 
 
-def cmd_fuzz(args):
-    if args.target not in target_names():
-        print("unknown target %r; choose from: %s"
-              % (args.target, ", ".join(target_names())), file=sys.stderr)
-        return 2
-    result = _fuzz_one(args.target, args)
+def _print_findings(result, args):
     summary = result.summary()
     print("%(target)s: %(campaigns)d campaigns" % summary)
     print("  inter-thread candidates     : %(inter_candidates)d" % summary)
@@ -88,6 +86,53 @@ def cmd_fuzz(args):
     if args.output:
         path = dump_run_result(result, args.output)
         print("\nJSON report written to %s" % path)
+
+
+def _check_target(name):
+    if name not in target_names():
+        print("unknown target %r; choose from: %s"
+              % (name, ", ".join(target_names())), file=sys.stderr)
+        return False
+    return True
+
+
+def cmd_fuzz(args):
+    if not _check_target(args.target):
+        return 2
+    result = _fuzz_one(args.target, args)
+    _print_findings(result, args)
+    return 0
+
+
+def cmd_fuzz_parallel(args):
+    if not _check_target(args.target):
+        return 2
+
+    def progress(stats, merged):
+        note = "" if stats.status == "ok" else \
+            " (%s, retry budget %d)" % (stats.status,
+                                        args.max_retries - stats.attempt)
+        print("worker %d seed %d attempt %d: %s — %d campaigns, "
+              "merged total %d%s"
+              % (stats.worker_id, stats.seed, stats.attempt, stats.status,
+                 stats.campaigns, merged.campaigns, note), file=sys.stderr)
+
+    result = fuzz_parallel(args.target, _make_config(args),
+                           seeds=tuple(args.seeds),
+                           processes=args.processes or None,
+                           worker_timeout=args.worker_timeout,
+                           max_retries=args.max_retries,
+                           progress=progress)
+    print(render_table(build_worker_table(result),
+                       title="Workers (§5 concurrent fuzzing)"))
+    print()
+    _print_findings(result, args)
+    failed = [s for s in result.worker_stats if s.status != "ok"]
+    exhausted = [s for s in failed if s.attempt >= args.max_retries]
+    if exhausted:
+        print("\n%d worker attempt(s) failed with no retry budget left"
+              % len(exhausted), file=sys.stderr)
+        return 1
     return 0
 
 
@@ -125,6 +170,21 @@ def build_parser():
     fuzz.add_argument("target", help="Table 1 system name, e.g. P-CLHT")
     _add_fuzz_options(fuzz)
 
+    par = sub.add_parser(
+        "fuzz-parallel",
+        help="fuzz one target with a fault-tolerant worker pool (§5)")
+    par.add_argument("target", help="Table 1 system name, e.g. P-CLHT")
+    _add_fuzz_options(par, parallel_flag=False)
+    par.add_argument("--processes", type=int, metavar="N", default=0,
+                     help="worker pool size (default min(seeds, cpus); "
+                          "1 = in-process)")
+    par.add_argument("--worker-timeout", type=float, metavar="SECONDS",
+                     default=None,
+                     help="write off a worker as hung after this long")
+    par.add_argument("--max-retries", type=int, default=1,
+                     help="retries per failed worker, fresh seed each "
+                          "(default 1)")
+
     tables = sub.add_parser("tables", help="fuzz all targets, print tables")
     _add_fuzz_options(tables)
 
@@ -134,6 +194,7 @@ def build_parser():
 def main(argv=None):
     args = build_parser().parse_args(argv)
     handler = {"targets": cmd_targets, "fuzz": cmd_fuzz,
+               "fuzz-parallel": cmd_fuzz_parallel,
                "tables": cmd_tables}[args.command]
     return handler(args)
 

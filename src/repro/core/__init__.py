@@ -9,8 +9,9 @@ from .coverage import (
 )
 from .engine import HangRecord, PMRace, PMRaceConfig, RunResult, fuzz_target
 from .inputgen import AflByteMutator, OperationMutator, Seed
-from .parallel import fuzz_parallel
+from .parallel import ParallelFuzzService, WorkerStats, fuzz_parallel
 from .priority import AccessProfiler, SharedAccessEntry, SharedAccessQueue
+from .seeding import mix_seeds, policy_seed, retry_seed
 from .results import (
     EXPECTED_BUGS,
     ExpectedBug,
@@ -18,6 +19,7 @@ from .results import (
     build_table3,
     build_table5,
     build_table6,
+    build_worker_table,
     expected_bugs_for,
     match_expected,
     render_table,
@@ -30,6 +32,11 @@ __all__ = [
     "RunResult",
     "fuzz_target",
     "fuzz_parallel",
+    "ParallelFuzzService",
+    "WorkerStats",
+    "mix_seeds",
+    "policy_seed",
+    "retry_seed",
     "HangRecord",
     "run_campaign",
     "CampaignResult",

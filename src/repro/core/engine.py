@@ -16,6 +16,7 @@ unique inconsistency goes straight through post-failure validation so the
 run result carries final verdicts.
 """
 
+import copy
 import time
 
 from ..detect.dedup import group_bugs
@@ -28,6 +29,7 @@ from .checkpoints import make_state_provider
 from .coverage import CoverageSet
 from .inputgen import OperationMutator
 from .priority import SharedAccessQueue
+from .seeding import policy_seed
 
 
 class PMRaceConfig:
@@ -83,11 +85,13 @@ def fuzz_target(target, config=None, seeds=(7, 13)):
 
     Multiple seeded sessions stand in for the paper's long wall-clock
     fuzzing runs; results are deduplicated exactly like within one run.
+
+    The config is deep-copied per session so mutable members (the
+    whitelist in particular) are never shared between sessions.
     """
-    import copy
     merged = None
     for seed in seeds:
-        cfg = copy.copy(config) if config is not None else PMRaceConfig()
+        cfg = copy.deepcopy(config) if config is not None else PMRaceConfig()
         cfg.base_seed = seed
         result = PMRace(target, cfg).run()
         if merged is None:
@@ -133,6 +137,9 @@ class RunResult:
         self.op_errors = 0
         self.annotation_count = 0
         self.bug_reports = []
+        #: Per-worker statistics attached by the parallel service
+        #: (:mod:`repro.core.parallel`); empty for single-session runs.
+        self.worker_stats = []
         self._candidate_keys = set()
         self._inconsistency_keys = set()
         self._sync_keys = set()
@@ -201,6 +208,7 @@ class RunResult:
             self.first_candidate_time = other.first_candidate_time + offset_t
         self.campaigns += other.campaigns
         self.duration += other.duration
+        self.worker_stats.extend(other.worker_stats)
         self.op_errors += other.op_errors
         self.annotation_count = max(self.annotation_count,
                                     other.annotation_count)
@@ -256,7 +264,7 @@ class PMRace:
     # ------------------------------------------------------------------
 
     def _make_policy(self, campaign_index):
-        seed = hash((self.config.base_seed, campaign_index)) & 0xFFFFFFFF
+        seed = policy_seed(self.config.base_seed, campaign_index)
         if self.config.mode == "delay":
             return DelayInjectionPolicy(seed)
         return SeededRandomPolicy(seed)
@@ -355,8 +363,12 @@ class PMRace:
                     if self._progress(new_branch, new_alias):
                         interleaving_progress = True
                         seed_progress = True
-                if not interleaving_progress and round_index > 0:
-                    continue
+                    elif round_index > 0:
+                        # Execution-tier cutoff: a guided interleaving
+                        # whose latest execution added no coverage stops
+                        # burning its remaining execution budget; the next
+                        # queue entry becomes the new sync points.
+                        break
             if not cfg.enable_seed_tier:
                 # Seed-tier ablation: loop on the first seed only.
                 seed_index = 0

@@ -1,58 +1,304 @@
-"""Concurrent fuzzing (§5): worker processes with low contention.
+"""Concurrent fuzzing (§5): a fault-tolerant parallel fuzzing service.
 
-The original PMRace runs 13 worker processes, each fuzzing with its own
-seeds, and merges their findings. Here each worker is a subprocess running
-one full seeded engine session; results are merged with the same
-deduplication used within a session, so the parallel run reports exactly
-what a longer serial run would.
+The original PMRace runs 13 worker processes for hours, each fuzzing with
+its own seeds, and merges their findings.  This module is the scaling
+surface of the reproduction: one engine session per seed, run by a
+persistent worker pool, with the guarantees a long campaign needs:
+
+* **Streaming merge** — per-worker :class:`~repro.core.engine.RunResult`s
+  are folded into a *fresh* merged result as they complete (workers'
+  own result objects are never mutated), so partial findings are visible
+  to the ``progress`` callback long before the slowest worker finishes.
+* **Fault tolerance** — a worker that raises (or exceeds
+  ``worker_timeout``) does not abort the run: the failure is recorded and
+  the session is retried up to ``max_retries`` times under a fresh seed
+  derived with the stable mixer (:func:`repro.core.seeding.retry_seed`).
+* **Isolation** — each worker fuzzes a deep copy of the base config, so a
+  caller-supplied mutable member (the :class:`~repro.detect.whitelist.
+  Whitelist` in particular) is never shared between sessions, even on the
+  ``processes=1`` in-process path.
+* **Accounting** — every attempt (successful, failed, retried) leaves a
+  :class:`WorkerStats` entry on ``merged.worker_stats``.
 
 Targets are passed by registry name (or any picklable zero-argument
 factory) so workers can reconstruct them.
 """
 
+import copy
 import multiprocessing
+import time
+import traceback
 
 from ..targets.registry import make_target
-from .engine import PMRace, PMRaceConfig
+from .engine import PMRace, PMRaceConfig, RunResult
+from .seeding import retry_seed
+
+#: Seconds between completion polls of in-flight pool jobs.
+_POLL_INTERVAL = 0.02
 
 
-def _run_worker(job):
-    factory, config, seed = job
-    if isinstance(factory, str):
-        target = make_target(factory)
-    else:
-        target = factory()
-    import copy
-    cfg = copy.copy(config) if config is not None else PMRaceConfig()
+class WorkerStats:
+    """Statistics for one worker attempt (one engine session).
+
+    Attributes:
+        worker_id: Stable index of the logical worker (one per seed).
+        seed: The base seed this attempt fuzzed with (retries get a
+            fresh seed, so it can differ from the original).
+        attempt: 0 for the first try, 1.. for retries.
+        status: ``"ok"``, ``"failed"`` or ``"timeout"``.
+        campaigns / duration / execs_per_sec: Session statistics
+            (zero when the attempt did not produce a result).
+        error: Formatted traceback (or timeout note) for failures.
+    """
+
+    def __init__(self, worker_id, seed, attempt=0):
+        self.worker_id = worker_id
+        self.seed = seed
+        self.attempt = attempt
+        self.status = "ok"
+        self.campaigns = 0
+        self.duration = 0.0
+        self.execs_per_sec = 0.0
+        self.error = None
+
+    @property
+    def retries(self):
+        return self.attempt
+
+    def record(self, result):
+        self.status = "ok"
+        self.campaigns = result.campaigns
+        self.duration = result.duration
+        self.execs_per_sec = result.executions_per_second
+        return self
+
+    def fail(self, error, status="failed"):
+        self.status = status
+        self.error = error
+        return self
+
+    def to_dict(self):
+        return {
+            "worker_id": self.worker_id,
+            "seed": self.seed,
+            "attempt": self.attempt,
+            "status": self.status,
+            "campaigns": self.campaigns,
+            "duration_s": round(self.duration, 3),
+            "execs_per_sec": round(self.execs_per_sec, 2),
+            "error": self.error,
+        }
+
+    def __repr__(self):
+        return "<WorkerStats #%d seed=%d attempt=%d %s>" % (
+            self.worker_id, self.seed, self.attempt, self.status)
+
+
+class _Job:
+    """One scheduled attempt: which worker, which seed, which try."""
+
+    def __init__(self, worker_id, seed, attempt=0):
+        self.worker_id = worker_id
+        self.seed = seed
+        self.attempt = attempt
+        self.submitted = None
+
+    def retry(self):
+        next_attempt = self.attempt + 1
+        return _Job(self.worker_id, retry_seed(self.seed, next_attempt),
+                    next_attempt)
+
+
+def _session_config(config, seed):
+    """A per-worker deep copy of ``config`` with its own base seed.
+
+    Deep copy (not ``copy.copy``) so mutable members — the whitelist's
+    entry list above all — cannot cross-contaminate sessions on the
+    in-process path; subprocess workers get isolation from pickling
+    anyway, but both paths behave identically this way.
+    """
+    cfg = copy.deepcopy(config) if config is not None else PMRaceConfig()
     cfg.base_seed = seed
-    return PMRace(target, cfg).run()
+    return cfg
+
+
+def _run_worker(payload):
+    """Pool entry point: run one engine session, never raise.
+
+    Exceptions are captured and shipped back as a tagged tuple so one
+    crashing worker cannot tear down the whole ``map``/pool iteration.
+    """
+    worker_id, attempt, factory, config, seed = payload
+    try:
+        if isinstance(factory, str):
+            target = make_target(factory)
+        else:
+            target = factory()
+        result = PMRace(target, _session_config(config, seed)).run()
+        return (worker_id, attempt, seed, "ok", result)
+    except Exception:
+        return (worker_id, attempt, seed, "error",
+                traceback.format_exc())
+
+
+def _target_name(target):
+    """Best-effort merged-result name before any worker has reported."""
+    if isinstance(target, str):
+        return target
+    return getattr(target, "NAME", None) or getattr(
+        target, "__name__", None) or repr(target)
+
+
+class ParallelFuzzService:
+    """Drives N worker sessions and streams their results into one merge.
+
+    Normally used through :func:`fuzz_parallel`; instantiating the
+    service directly gives access to the merged-so-far result while the
+    run is still in flight (via the ``progress`` callback arguments).
+    """
+
+    def __init__(self, target, config=None, seeds=(7, 13, 42, 99),
+                 processes=None, worker_timeout=None, max_retries=1,
+                 progress=None):
+        if not seeds:
+            raise ValueError("fuzz_parallel needs at least one seed")
+        self.target = target
+        self.config = config
+        self.seeds = tuple(seeds)
+        self.processes = processes
+        self.worker_timeout = worker_timeout
+        self.max_retries = max_retries
+        self.progress = progress
+        # The merged result is a *fresh* RunResult: worker results are
+        # folded in and never mutated, and no worker's base_seed leaks
+        # into the merged config (all seeds live in worker_stats).
+        self.merged = RunResult(_target_name(target),
+                                copy.deepcopy(config)
+                                if config is not None else PMRaceConfig())
+
+    # ------------------------------------------------------------------
+
+    def run(self):
+        jobs = [_Job(index, seed) for index, seed in enumerate(self.seeds)]
+        if self.processes == 1:
+            self._run_inprocess(jobs)
+        else:
+            self._run_pool(jobs)
+        self.merged._regroup()
+        return self.merged
+
+    # ------------------------------------------------------------------
+
+    def _payload(self, job):
+        return (job.worker_id, job.attempt, self.target, self.config,
+                job.seed)
+
+    def _absorb(self, job, outcome):
+        """Fold one worker attempt into the merged result; returns the
+        retry job if the attempt failed and has retry budget left."""
+        worker_id, attempt, seed, status, value = outcome
+        stats = WorkerStats(worker_id, seed, attempt)
+        if status == "ok":
+            stats.record(value)
+            self.merged.merge(value)
+        else:
+            stats.fail(value, "timeout" if status == "timeout"
+                       else "failed")
+        self.merged.worker_stats.append(stats)
+        if self.progress is not None:
+            self.progress(stats, self.merged)
+        if stats.status != "ok" and attempt < self.max_retries:
+            return job.retry()
+        return None
+
+    def _run_inprocess(self, jobs):
+        """Sequential fallback (``processes=1``) — debugger friendly.
+
+        ``worker_timeout`` is not enforced here: there is no second
+        process to observe a hang from.
+        """
+        queue = list(jobs)
+        while queue:
+            job = queue.pop(0)
+            retry = self._absorb(job, _run_worker(self._payload(job)))
+            if retry is not None:
+                queue.append(retry)
+
+    def _run_pool(self, jobs):
+        processes = self.processes or min(len(jobs),
+                                          multiprocessing.cpu_count())
+        pool = multiprocessing.Pool(processes)
+        timed_out = False
+        try:
+            inflight = {}
+            queue = list(jobs)
+            while queue or inflight:
+                while queue:
+                    job = queue.pop(0)
+                    job.submitted = time.monotonic()
+                    inflight[pool.apply_async(_run_worker,
+                                              (self._payload(job),))] = job
+                time.sleep(_POLL_INTERVAL)
+                for handle in list(inflight):
+                    job = inflight[handle]
+                    if handle.ready():
+                        del inflight[handle]
+                        retry = self._absorb(job, handle.get())
+                    elif self.worker_timeout is not None and \
+                            time.monotonic() - job.submitted > \
+                            self.worker_timeout:
+                        # The pool cannot kill one member, so the stuck
+                        # process keeps its slot until the final
+                        # terminate(); the job itself is written off.
+                        # (The clock starts at submission: include any
+                        # queueing delay in the budget.)
+                        del inflight[handle]
+                        timed_out = True
+                        retry = self._absorb(
+                            job, (job.worker_id, job.attempt, job.seed,
+                                  "timeout", "worker exceeded %.1fs"
+                                  % self.worker_timeout))
+                    else:
+                        continue
+                    if retry is not None:
+                        queue.append(retry)
+        finally:
+            if timed_out:
+                pool.terminate()
+            else:
+                pool.close()
+            pool.join()
 
 
 def fuzz_parallel(target, config=None, seeds=(7, 13, 42, 99),
-                  processes=None):
-    """Fuzz ``target`` with one worker process per seed; merged result.
+                  processes=None, worker_timeout=None, max_retries=1,
+                  progress=None):
+    """Fuzz ``target`` with one worker session per seed; merged result.
 
     Args:
         target: A Table 1 target name (str) or a picklable zero-argument
             factory returning a Target.
-        config: Base :class:`PMRaceConfig`; each worker overrides
-            ``base_seed`` with its assigned seed.
+        config: Base :class:`PMRaceConfig`; each worker fuzzes a deep
+            copy with ``base_seed`` set to its assigned seed.  The
+            caller's object is never mutated.
         seeds: One engine session per seed.
         processes: Worker pool size (default: ``min(len(seeds), cpus)``).
             ``1`` runs everything in-process (useful under debuggers).
+        worker_timeout: Seconds before an in-flight worker is written
+            off as hung (pool path only; measured from submission).
+        max_retries: How many times a failed/timed-out session is
+            retried under a fresh seed (default 1).
+        progress: Optional callable ``progress(stats, merged)`` invoked
+            after every worker attempt with that attempt's
+            :class:`WorkerStats` and the merged-so-far result.
 
     Returns:
-        The merged :class:`~repro.core.engine.RunResult`.
+        A fresh merged :class:`~repro.core.engine.RunResult` whose
+        ``worker_stats`` lists every attempt; the per-worker results the
+        workers produced are left unmodified.
     """
-    jobs = [(target, config, seed) for seed in seeds]
-    if processes == 1:
-        results = [_run_worker(job) for job in jobs]
-    else:
-        processes = processes or min(len(seeds),
-                                     multiprocessing.cpu_count())
-        with multiprocessing.Pool(processes) as pool:
-            results = pool.map(_run_worker, jobs)
-    merged = results[0]
-    for result in results[1:]:
-        merged.merge(result)
-    return merged
+    return ParallelFuzzService(target, config, seeds=seeds,
+                               processes=processes,
+                               worker_timeout=worker_timeout,
+                               max_retries=max_retries,
+                               progress=progress).run()

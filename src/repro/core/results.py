@@ -259,6 +259,24 @@ def build_table6(results):
     return rows
 
 
+def build_worker_table(result):
+    """Per-worker attempt rows for a parallel run's ``worker_stats``."""
+    rows = []
+    for stats in result.worker_stats:
+        rows.append({
+            "worker": stats.worker_id,
+            "seed": stats.seed,
+            "attempt": stats.attempt,
+            "status": stats.status,
+            "campaigns": stats.campaigns,
+            "duration_s": "%.2f" % stats.duration,
+            "execs_per_s": "%.1f" % stats.execs_per_sec,
+            "error": (stats.error or "").strip().splitlines()[-1]
+            if stats.error else "",
+        })
+    return rows
+
+
 def render_table(rows, columns=None, title=None):
     """Plain-text table renderer for benchmark output."""
     if not rows:

@@ -96,6 +96,8 @@ def dump_run_result(result, path):
         "sync_inconsistencies": [record_to_dict(r)
                                  for r in result.sync_inconsistencies],
         "candidates": [record_to_dict(c) for c in result.candidates],
+        "workers": [stats.to_dict()
+                    for stats in getattr(result, "worker_stats", ())],
     }
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2)

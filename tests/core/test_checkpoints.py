@@ -39,6 +39,26 @@ class TestStateProvider:
         state = provider.provide()
         assert state.annotations.annotation_count == 1
 
+    def test_eadr_flag_survives_restore(self):
+        """§6.6: the snapshot is taken before the platform switch is
+        applied, so every restore must re-apply it."""
+        provider = StateProvider(ToyTarget(), use_checkpoints=True,
+                                 eadr=True)
+        first = provider.provide()
+        assert first.pool.memory.eadr
+        second = provider.provide()
+        assert provider.restore_count == 1
+        assert second.pool.memory.eadr
+        # and eADR semantics actually hold on the restored state
+        second.pool.memory.store(0, b"x" * 8, thread_id=0)
+        assert second.pool.memory.is_persisted(0, 8)
+
+    def test_eadr_flag_without_checkpoints(self):
+        provider = StateProvider(ToyTarget(), use_checkpoints=False,
+                                 eadr=True)
+        for _ in range(2):
+            assert provider.provide().pool.memory.eadr
+
     def test_auto_mode_respects_libpmem(self):
         assert make_state_provider(PclhtTarget()).use_checkpoints
         assert not make_state_provider(MemcachedTarget()).use_checkpoints

@@ -32,6 +32,23 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_fuzz_parallel_options(self):
+        args = build_parser().parse_args(
+            ["fuzz-parallel", "P-CLHT", "--seeds", "1", "2",
+             "--processes", "2", "--worker-timeout", "30",
+             "--max-retries", "2"])
+        assert args.command == "fuzz-parallel"
+        assert args.seeds == [1, 2]
+        assert args.processes == 2
+        assert args.worker_timeout == 30.0
+        assert args.max_retries == 2
+
+    def test_fuzz_parallel_defaults(self):
+        args = build_parser().parse_args(["fuzz-parallel", "CCEH"])
+        assert args.processes == 0
+        assert args.worker_timeout is None
+        assert args.max_retries == 1
+
 
 class TestCommands:
     def test_targets_lists_all(self, capsys):
@@ -60,6 +77,25 @@ class TestCommands:
                      "--seeds", "7", "--eadr"]) == 0
         out = capsys.readouterr().out
         assert "inter-thread candidates     : 0" in out
+
+    def test_fuzz_parallel_small_run(self, capsys, tmp_path):
+        report = tmp_path / "out.json"
+        code = main(["fuzz-parallel", "P-CLHT", "--campaigns", "8",
+                     "--seeds", "7", "13", "--processes", "1",
+                     "--output", str(report)])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "Workers" in captured.out
+        assert "unique bugs" in captured.out
+        assert "merged total" in captured.err  # progress hook streamed
+        payload = json.loads(report.read_text())
+        assert payload["campaigns"] == 16
+        assert [w["seed"] for w in payload["workers"]] == [7, 13]
+        assert all(w["status"] == "ok" for w in payload["workers"])
+
+    def test_fuzz_parallel_unknown_target(self, capsys):
+        assert main(["fuzz-parallel", "redis"]) == 2
+        assert "unknown target" in capsys.readouterr().err
 
     def test_fuzz_with_whitelist_file(self, capsys, tmp_path):
         wl = tmp_path / "wl.txt"

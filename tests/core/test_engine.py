@@ -94,3 +94,30 @@ class TestEngine:
                      for r in result.inter_inconsistencies
                      if r.verdict is Verdict.BUG}
         assert SHADOW in bug_addrs
+
+
+class TestExplorationTiers:
+    """The three §4.2.3 tiers must actually change exploration."""
+
+    def timeline(self, result):
+        return [(branch, alias)
+                for _c, _t, branch, alias in result.coverage_timeline]
+
+    def test_ablation_tiers_diverge_on_timeline(self):
+        budget = {"max_campaigns": 30}
+        full = run_engine(**budget)
+        no_inter = run_engine(enable_interleaving_tier=False, **budget)
+        no_seed = run_engine(enable_seed_tier=False, **budget)
+        assert self.timeline(full) != self.timeline(no_inter)
+        assert self.timeline(full) != self.timeline(no_seed)
+        assert self.timeline(no_inter) != self.timeline(no_seed)
+
+    def test_exec_tier_cutoff_bounds_nonprogressing_rounds(self):
+        """A guided interleaving whose execution adds no coverage is
+        abandoned instead of burning the rest of its execution budget,
+        so a 10x execution budget cannot 10x the campaign count."""
+        small = run_engine(execs_per_interleaving=2, max_campaigns=500,
+                           max_seeds=4)
+        big = run_engine(execs_per_interleaving=20, max_campaigns=500,
+                         max_seeds=4)
+        assert big.campaigns < 10 * small.campaigns
