@@ -42,6 +42,7 @@ from .detect import (
     scan_missing_flushes,
 )
 from .instrument import AnnotationRegistry, InstrumentationContext, PmView
+from .obs import Metrics, NullTracer, RunProfiler, Tracer
 from .pmem import PersistentAllocator, PersistentMemory, PmemPool
 from .runtime import (
     DelayInjectionPolicy,
@@ -86,6 +87,10 @@ __all__ = [
     "PmView",
     "InstrumentationContext",
     "AnnotationRegistry",
+    "Tracer",
+    "NullTracer",
+    "Metrics",
+    "RunProfiler",
     "PmemPool",
     "PersistentMemory",
     "PersistentAllocator",

@@ -8,7 +8,13 @@ Commands:
     targets                     list the Table 1 systems
     fuzz <target>               fuzz one target and print its bugs
     fuzz-parallel <target>      fuzz one target with a worker pool (§5)
+    validate <target>           fuzz, then post-failure validate separately
     tables                      fuzz everything and print Tables 2/3/5/6
+    stats <file.jsonl>          summarize a --trace-out/--metrics-out file
+
+``fuzz``, ``fuzz-parallel``, ``validate``, and ``tables`` accept
+``--trace-out FILE`` (typed JSONL event stream) and ``--metrics-out
+FILE`` (counter/gauge/histogram registry dump); ``stats`` reads either.
 """
 
 import argparse
@@ -23,7 +29,10 @@ from .core.results import (
     build_worker_table,
     render_table,
 )
+from .detect.postfailure import PostFailureValidator
 from .detect.reporting import dump_run_result, load_whitelist
+from .detect.whitelist import Whitelist
+from .obs import Metrics, Tracer, render_stats, summarize_path
 from .targets import make_target, table1_rows, target_names
 
 
@@ -46,6 +55,10 @@ def _add_fuzz_options(parser, parallel_flag=True):
                             help="fuzz with N worker processes (§5)")
     parser.add_argument("--output", metavar="FILE",
                         help="write the full JSON report here")
+    parser.add_argument("--trace-out", metavar="FILE", dest="trace_out",
+                        help="write a typed JSONL event trace here")
+    parser.add_argument("--metrics-out", metavar="FILE", dest="metrics_out",
+                        help="write the metrics registry as JSONL here")
 
 
 def _make_config(args):
@@ -55,12 +68,31 @@ def _make_config(args):
                         whitelist=whitelist, eadr=args.eadr)
 
 
-def _fuzz_one(name, args):
+def _make_obs(args):
+    """(tracer, metrics) from the --trace-out/--metrics-out flags."""
+    tracer = Tracer(args.trace_out) if args.trace_out else None
+    metrics = Metrics() if args.metrics_out else None
+    return tracer, metrics
+
+
+def _close_obs(args, tracer, metrics):
+    """Flush observability sinks and tell the user where they went."""
+    if tracer is not None:
+        tracer.close()
+        print("trace written to %s" % args.trace_out, file=sys.stderr)
+    if metrics is not None:
+        metrics.dump(args.metrics_out)
+        print("metrics written to %s" % args.metrics_out, file=sys.stderr)
+
+
+def _fuzz_one(name, args, tracer=None, metrics=None):
     config = _make_config(args)
-    if args.parallel:
+    if getattr(args, "parallel", 0):
         return fuzz_parallel(name, config, seeds=tuple(args.seeds),
-                             processes=args.parallel)
-    return fuzz_target(make_target(name), config, seeds=tuple(args.seeds))
+                             processes=args.parallel, tracer=tracer,
+                             metrics=metrics)
+    return fuzz_target(make_target(name), config, seeds=tuple(args.seeds),
+                       tracer=tracer, metrics=metrics)
 
 
 def cmd_targets(_args):
@@ -99,8 +131,10 @@ def _check_target(name):
 def cmd_fuzz(args):
     if not _check_target(args.target):
         return 2
-    result = _fuzz_one(args.target, args)
+    tracer, metrics = _make_obs(args)
+    result = _fuzz_one(args.target, args, tracer=tracer, metrics=metrics)
     _print_findings(result, args)
+    _close_obs(args, tracer, metrics)
     return 0
 
 
@@ -117,16 +151,19 @@ def cmd_fuzz_parallel(args):
               % (stats.worker_id, stats.seed, stats.attempt, stats.status,
                  stats.campaigns, merged.campaigns, note), file=sys.stderr)
 
+    tracer, metrics = _make_obs(args)
     result = fuzz_parallel(args.target, _make_config(args),
                            seeds=tuple(args.seeds),
                            processes=args.processes or None,
                            worker_timeout=args.worker_timeout,
                            max_retries=args.max_retries,
-                           progress=progress)
+                           progress=progress, tracer=tracer,
+                           metrics=metrics)
     print(render_table(build_worker_table(result),
                        title="Workers (§5 concurrent fuzzing)"))
     print()
     _print_findings(result, args)
+    _close_obs(args, tracer, metrics)
     failed = [s for s in result.worker_stats if s.status != "ok"]
     exhausted = [s for s in failed if s.attempt >= args.max_retries]
     if exhausted:
@@ -136,11 +173,51 @@ def cmd_fuzz_parallel(args):
     return 0
 
 
+def cmd_validate(args):
+    """Fuzz with validation deferred, then validate in one visible pass."""
+    if not _check_target(args.target):
+        return 2
+    tracer, metrics = _make_obs(args)
+    config = _make_config(args)
+    config.validate = False
+    result = fuzz_target(make_target(args.target), config,
+                         seeds=tuple(args.seeds), tracer=tracer,
+                         metrics=metrics)
+    whitelist = config.whitelist or Whitelist()
+    validator = PostFailureValidator(
+        lambda: make_target(args.target), whitelist,
+        tracer=tracer, metrics=metrics)
+    records = list(result.inconsistencies) + list(result.sync_inconsistencies)
+    bugs, validated, whitelisted = validator.validate_all(records)
+    result._regroup()
+    print("post-failure validation: %d records -> %d bugs, "
+          "%d validated FPs, %d whitelisted FPs, %d pending"
+          % (len(records), len(bugs), len(validated), len(whitelisted),
+             len(records) - len(bugs) - len(validated) - len(whitelisted)))
+    print()
+    _print_findings(result, args)
+    _close_obs(args, tracer, metrics)
+    return 0
+
+
+def cmd_stats(args):
+    try:
+        summary = summarize_path(args.file)
+    except (OSError, ValueError) as exc:
+        print("cannot summarize %s: %s" % (args.file, exc), file=sys.stderr)
+        return 2
+    print(render_stats(summary))
+    return 0
+
+
 def cmd_tables(args):
+    tracer, metrics = _make_obs(args)
     results = {}
     for name in target_names():
         print("fuzzing %s..." % name, file=sys.stderr)
-        results[name] = _fuzz_one(name, args)
+        results[name] = _fuzz_one(name, args, tracer=tracer,
+                                  metrics=metrics)
+    _close_obs(args, tracer, metrics)
     print(render_table(build_table2(results),
                        ["#", "system", "type", "new", "description",
                         "consequence", "found"],
@@ -185,8 +262,19 @@ def build_parser():
                      help="retries per failed worker, fresh seed each "
                           "(default 1)")
 
+    validate = sub.add_parser(
+        "validate",
+        help="fuzz with validation deferred, then run post-failure "
+             "validation as its own observable pass")
+    validate.add_argument("target", help="Table 1 system name")
+    _add_fuzz_options(validate, parallel_flag=False)
+
     tables = sub.add_parser("tables", help="fuzz all targets, print tables")
     _add_fuzz_options(tables)
+
+    stats = sub.add_parser(
+        "stats", help="summarize a --trace-out/--metrics-out JSONL file")
+    stats.add_argument("file", help="trace or metrics JSONL path")
 
     return parser
 
@@ -195,7 +283,8 @@ def main(argv=None):
     args = build_parser().parse_args(argv)
     handler = {"targets": cmd_targets, "fuzz": cmd_fuzz,
                "fuzz-parallel": cmd_fuzz_parallel,
-               "tables": cmd_tables}[args.command]
+               "validate": cmd_validate,
+               "tables": cmd_tables, "stats": cmd_stats}[args.command]
     return handler(args)
 
 

@@ -43,7 +43,8 @@ class CampaignResult:
 def run_campaign(target, state, seed_threads, policy, entry=None, rng=None,
                  initial_skips=None, writer_waiting=150, taint_enabled=True,
                  snapshot_images=True, capture_stacks=True,
-                 max_steps=30_000, spin_hang_limit=400, extra_observers=()):
+                 max_steps=30_000, spin_hang_limit=400, extra_observers=(),
+                 metrics=None):
     """Execute one campaign; returns a :class:`CampaignResult`.
 
     Args:
@@ -55,10 +56,13 @@ def run_campaign(target, state, seed_threads, policy, entry=None, rng=None,
         rng: RNG for privileged-thread selection.
         initial_skips: Carried-over cond_wait skip counts (Pitfall 3).
         writer_waiting: Writer stall length after cond_signal.
+        metrics: Optional :class:`~repro.obs.metrics.Metrics` registry
+            wired into the PM access hooks and the scheduler.
     """
     ctx = InstrumentationContext(annotations=state.annotations,
                                  taint_enabled=taint_enabled,
-                                 capture_stacks=capture_stacks)
+                                 capture_stacks=capture_stacks,
+                                 metrics=metrics)
     checker = ctx.add_observer(InconsistencyChecker(
         state.pool, snapshot_images=snapshot_images))
     branch = ctx.add_observer(BranchCoverageCollector())
@@ -67,7 +71,7 @@ def run_campaign(target, state, seed_threads, policy, entry=None, rng=None,
     for observer in extra_observers:
         ctx.add_observer(observer)
     scheduler = Scheduler(policy, max_steps=max_steps,
-                          spin_hang_limit=spin_hang_limit)
+                          spin_hang_limit=spin_hang_limit, metrics=metrics)
     view = PmView(state.pool, scheduler, ctx)
     controller = None
     if entry is not None:

@@ -17,23 +17,44 @@ STATE_DIRTY = "D"
 
 
 class CoverageSet:
-    """A grow-only set with "did this add anything new?" accounting."""
+    """A grow-only set with "did this add anything new?" accounting.
 
-    def __init__(self):
+    Args:
+        metrics: Optional :class:`~repro.obs.metrics.Metrics`; when given
+            together with ``name``, merges update a ``<name>.total`` gauge
+            and a ``<name>.new`` counter (one update per merge, i.e. per
+            campaign — not per item).
+        name: Metric name prefix, e.g. ``"coverage.branch"``.
+    """
+
+    def __init__(self, metrics=None, name=None):
         self.items = set()
+        if metrics is not None and name is not None:
+            self._total_gauge = metrics.gauge(name + ".total")
+            self._new_counter = metrics.counter(name + ".new")
+        else:
+            self._total_gauge = self._new_counter = None
 
     def add(self, item):
         """Add ``item``; returns True when it was new."""
         if item in self.items:
             return False
         self.items.add(item)
+        if self._total_gauge is not None:
+            self._total_gauge.set(len(self.items))
+            self._new_counter.inc()
         return True
 
     def merge(self, other):
         """Union ``other`` in; returns the number of new items."""
         before = len(self.items)
         self.items |= other.items if isinstance(other, CoverageSet) else other
-        return len(self.items) - before
+        new = len(self.items) - before
+        if self._total_gauge is not None:
+            self._total_gauge.set(len(self.items))
+            if new:
+                self._new_counter.inc(new)
+        return new
 
     def __len__(self):
         return len(self.items)

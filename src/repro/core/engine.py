@@ -23,6 +23,8 @@ from ..detect.dedup import group_bugs
 from ..detect.postfailure import PostFailureValidator
 from ..detect.records import Verdict
 from ..detect.whitelist import Whitelist
+from ..obs.profiling import RunProfiler, merge_profiles
+from ..obs.tracer import NULL_TRACER
 from ..runtime.policies import DelayInjectionPolicy, SeededRandomPolicy
 from .campaign import run_campaign
 from .checkpoints import make_state_provider
@@ -53,7 +55,7 @@ class PMRaceConfig:
                  capture_stacks=True, validate=True, probe_hangs=False,
                  writer_waiting=150, max_steps=30_000, spin_hang_limit=400,
                  coverage_feedback="both", base_seed=0, whitelist=None,
-                 eadr=False):
+                 eadr=False, profile=True):
         self.mode = mode
         self.n_threads = n_threads
         self.ops_per_thread = ops_per_thread
@@ -78,22 +80,29 @@ class PMRaceConfig:
         self.whitelist = whitelist
         #: Simulate an eADR platform (persistent caches, §6.6).
         self.eadr = eadr
+        #: Collect per-phase wall times and execs/sec samples into
+        #: ``RunResult.profile`` (a few clock reads per campaign); turn
+        #: off for a true no-observability baseline.
+        self.profile = profile
 
 
-def fuzz_target(target, config=None, seeds=(7, 13)):
+def fuzz_target(target, config=None, seeds=(7, 13), tracer=None,
+                metrics=None):
     """Fuzz ``target`` once per base seed and merge the findings.
 
     Multiple seeded sessions stand in for the paper's long wall-clock
     fuzzing runs; results are deduplicated exactly like within one run.
 
     The config is deep-copied per session so mutable members (the
-    whitelist in particular) are never shared between sessions.
+    whitelist in particular) are never shared between sessions. The
+    optional tracer/metrics objects are shared across sessions (they are
+    observability sinks, not session state).
     """
     merged = None
     for seed in seeds:
         cfg = copy.deepcopy(config) if config is not None else PMRaceConfig()
         cfg.base_seed = seed
-        result = PMRace(target, cfg).run()
+        result = PMRace(target, cfg, tracer=tracer, metrics=metrics).run()
         if merged is None:
             merged = result
         else:
@@ -137,6 +146,10 @@ class RunResult:
         self.op_errors = 0
         self.annotation_count = 0
         self.bug_reports = []
+        #: Profiling output (:meth:`repro.obs.profiling.RunProfiler.
+        #: to_dict`): per-phase wall time + execs/sec samples. Empty when
+        #: ``config.profile`` is off.
+        self.profile = {}
         #: Per-worker statistics attached by the parallel service
         #: (:mod:`repro.core.parallel`); empty for single-session runs.
         self.worker_stats = []
@@ -206,6 +219,7 @@ class RunResult:
         if other.first_candidate_time is not None and \
                 self.first_candidate_time is None:
             self.first_candidate_time = other.first_candidate_time + offset_t
+        self.profile = merge_profiles(self.profile, other.profile)
         self.campaigns += other.campaigns
         self.duration += other.duration
         self.worker_stats.extend(other.worker_stats)
@@ -251,15 +265,27 @@ class RunResult:
 
 
 class PMRace:
-    """The fuzzer facade: ``PMRace(target, config).run()``."""
+    """The fuzzer facade: ``PMRace(target, config).run()``.
 
-    def __init__(self, target, config=None):
+    Args:
+        target: The :class:`~repro.targets.base.Target` to fuzz.
+        config: A :class:`PMRaceConfig`.
+        tracer: Optional :class:`~repro.obs.tracer.Tracer`; defaults to
+            the shared null tracer (no records, near-zero cost).
+        metrics: Optional :class:`~repro.obs.metrics.Metrics` registry
+            threaded into every hot path of the run.
+    """
+
+    def __init__(self, target, config=None, tracer=None, metrics=None):
         self.target = target
         self.config = config or PMRaceConfig()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
         self.whitelist = self.config.whitelist or Whitelist()
         self.validator = PostFailureValidator(
             lambda: self.target, self.whitelist,
-            probe_hangs=self.config.probe_hangs)
+            probe_hangs=self.config.probe_hangs,
+            tracer=self.tracer, metrics=self.metrics)
 
     # ------------------------------------------------------------------
 
@@ -282,6 +308,7 @@ class PMRace:
     def run(self):
         """Execute the fuzzing loop; returns a :class:`RunResult`."""
         cfg = self.config
+        tracer = self.tracer
         result = RunResult(self.target.NAME, cfg)
         provider = make_state_provider(self.target, cfg.use_checkpoints,
                                        eadr=cfg.eadr)
@@ -291,12 +318,20 @@ class PMRace:
                                    rng=_random.Random(cfg.base_seed))
         priv_rng = _random.Random(cfg.base_seed + 1)
         corpus = [mutator.populate_seed(), mutator.initial_seed()]
-        branch_cov, alias_cov = CoverageSet(), CoverageSet()
+        branch_cov = CoverageSet(self.metrics, "coverage.branch")
+        alias_cov = CoverageSet(self.metrics, "coverage.alias")
+        profiler = RunProfiler() if cfg.profile else None
+        campaign_counter = None if self.metrics is None else \
+            self.metrics.counter("engine.campaigns")
         skips = {}
         start = time.monotonic()
         seed_index = 0
         use_syncpoints = (cfg.mode == "pmrace"
                           and cfg.enable_interleaving_tier)
+        tracer.emit("run_start", target=self.target.NAME, mode=cfg.mode,
+                    base_seed=cfg.base_seed, n_threads=cfg.n_threads,
+                    max_campaigns=cfg.max_campaigns,
+                    coverage_feedback=cfg.coverage_feedback, eadr=cfg.eadr)
 
         def out_of_budget():
             if result.campaigns >= cfg.max_campaigns:
@@ -312,8 +347,10 @@ class PMRace:
             if seed_index >= len(corpus):
                 corpus.append(seed)
             seed_index += 1
+            tracer.emit("seed_start", seed_index=seed_index - 1,
+                        seed_id=seed.seed_id)
             # Seed tier: reconstruct the priority queue per seed.
-            queue = SharedAccessQueue()
+            queue = SharedAccessQueue(self.metrics)
             seed_skips = skips.setdefault(seed.seed_id, {})
             seed_progress = False
             rounds = cfg.max_interleavings_per_seed if use_syncpoints else 1
@@ -325,17 +362,26 @@ class PMRace:
                     entry = queue.fetch()
                     if entry is None:
                         break
+                    if tracer.enabled:
+                        tracer.emit("interleaving", seed_id=seed.seed_id,
+                                    round=round_index, addr=entry.addr,
+                                    loads=len(entry.load_instrs),
+                                    stores=len(entry.store_instrs),
+                                    frequency=entry.frequency)
                 interleaving_progress = False
                 for exec_index in range(cfg.execs_per_interleaving):
                     if out_of_budget():
                         break
-                    state = provider.provide()
+                    if profiler is None:
+                        state = provider.provide()
+                    else:
+                        with profiler.phase("provide"):
+                            state = provider.provide()
                     result.annotation_count = max(
                         result.annotation_count,
                         state.annotations.annotation_count)
                     policy = self._make_policy(result.campaigns)
-                    campaign = run_campaign(
-                        self.target, state, seed.threads, policy,
+                    campaign_kwargs = dict(
                         entry=entry, rng=priv_rng,
                         initial_skips=dict(seed_skips),
                         writer_waiting=cfg.writer_waiting,
@@ -343,8 +389,20 @@ class PMRace:
                         snapshot_images=cfg.snapshot_images,
                         capture_stacks=cfg.capture_stacks,
                         max_steps=cfg.max_steps,
-                        spin_hang_limit=cfg.spin_hang_limit)
+                        spin_hang_limit=cfg.spin_hang_limit,
+                        metrics=self.metrics)
+                    if profiler is None:
+                        campaign = run_campaign(self.target, state,
+                                                seed.threads, policy,
+                                                **campaign_kwargs)
+                    else:
+                        with profiler.phase("campaign"):
+                            campaign = run_campaign(self.target, state,
+                                                    seed.threads, policy,
+                                                    **campaign_kwargs)
                     result.campaigns += 1
+                    if campaign_counter is not None:
+                        campaign_counter.inc()
                     elapsed = time.monotonic() - start
                     if campaign.outcome.status == "error":
                         raise campaign.outcome.error
@@ -359,7 +417,20 @@ class PMRace:
                                 campaign.controller.updated_skips.items():
                             seed_skips[instr] = \
                                 seed_skips.get(instr, 0) + skip
-                    self._harvest(result, campaign, seed, elapsed)
+                    if profiler is None:
+                        self._harvest(result, campaign, seed, elapsed)
+                    else:
+                        with profiler.phase("harvest"):
+                            self._harvest(result, campaign, seed, elapsed)
+                        profiler.sample(result.campaigns)
+                    if tracer.enabled:
+                        tracer.emit("campaign", index=result.campaigns,
+                                    status=campaign.outcome.status,
+                                    steps=campaign.outcome.steps,
+                                    new_branch=new_branch,
+                                    new_alias=new_alias,
+                                    branch_total=len(branch_cov),
+                                    alias_total=len(alias_cov))
                     if self._progress(new_branch, new_alias):
                         interleaving_progress = True
                         seed_progress = True
@@ -377,13 +448,21 @@ class PMRace:
             elif not seed_progress and seed_index >= len(corpus):
                 corpus.pop()
         result.duration = time.monotonic() - start
+        if profiler is not None:
+            result.profile = profiler.to_dict(result.duration,
+                                              result.campaigns)
         self._finalize(result)
+        tracer.emit("run_end", target=self.target.NAME,
+                    duration_s=round(result.duration, 6),
+                    summary=result.summary())
         return result
 
     # ------------------------------------------------------------------
 
     def _harvest(self, result, campaign, seed, elapsed):
         checker = campaign.checker
+        tracer = self.tracer
+        metrics = self.metrics
         result.op_errors += campaign.op_errors
         for candidate in checker.candidates:
             key = (candidate.read_instr, candidate.write_instr,
@@ -393,6 +472,13 @@ class PMRace:
                 result.candidates.append(candidate)
                 if result.first_candidate_time is None:
                     result.first_candidate_time = elapsed
+                if metrics is not None:
+                    metrics.counter("detect.candidates").inc()
+                if tracer.enabled:
+                    tracer.emit("candidate", kind=candidate.kind,
+                                addr=candidate.addr,
+                                read_code=candidate.read_instr,
+                                write_code=candidate.write_instr)
         inter_found = 0
         for record in checker.inconsistencies:
             if record.kind == "inter":
@@ -402,6 +488,14 @@ class PMRace:
                 continue
             result._inconsistency_keys.add(key)
             result.inconsistencies.append(record)
+            if metrics is not None:
+                metrics.counter("detect.inconsistencies.%s"
+                                % record.kind).inc()
+            if tracer.enabled:
+                tracer.emit("inconsistency", kind=record.kind,
+                            read_code=record.read_instr,
+                            write_code=record.write_instr,
+                            side_effect_addr=record.side_effect_addr)
             if self.config.validate:
                 self.validator.validate(record)
             if record.kind == "inter" and result.first_inter_time is None:
@@ -414,6 +508,12 @@ class PMRace:
                 continue
             result._sync_keys.add(key)
             result.sync_inconsistencies.append(record)
+            if metrics is not None:
+                metrics.counter("detect.inconsistencies.sync").inc()
+            if tracer.enabled:
+                tracer.emit("inconsistency", kind="sync",
+                            annotation=record.annotation_name,
+                            addr=record.addr)
             if self.config.validate:
                 self.validator.validate(record)
         if campaign.outcome.status == "hang":
@@ -426,6 +526,8 @@ class PMRace:
                     and signature not in result._hang_signatures:
                 result._hang_signatures.add(signature)
                 result.hangs.append(hang)
+                if metrics is not None:
+                    metrics.counter("detect.hangs").inc()
 
     def _finalize(self, result):
         result._regroup()

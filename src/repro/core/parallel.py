@@ -29,6 +29,7 @@ import multiprocessing
 import time
 import traceback
 
+from ..obs.tracer import NULL_TRACER
 from ..targets.registry import make_target
 from .engine import PMRace, PMRaceConfig, RunResult
 from .seeding import retry_seed
@@ -159,7 +160,7 @@ class ParallelFuzzService:
 
     def __init__(self, target, config=None, seeds=(7, 13, 42, 99),
                  processes=None, worker_timeout=None, max_retries=1,
-                 progress=None):
+                 progress=None, tracer=None, metrics=None):
         if not seeds:
             raise ValueError("fuzz_parallel needs at least one seed")
         self.target = target
@@ -169,6 +170,11 @@ class ParallelFuzzService:
         self.worker_timeout = worker_timeout
         self.max_retries = max_retries
         self.progress = progress
+        # Observability sinks live in the parent only: workers run in
+        # subprocesses, so worker-side events surface here as typed
+        # "worker" records and merged profile/metric aggregates.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
         # The merged result is a *fresh* RunResult: worker results are
         # folded in and never mutated, and no worker's base_seed leaks
         # into the merged config (all seeds live in worker_stats).
@@ -180,11 +186,19 @@ class ParallelFuzzService:
 
     def run(self):
         jobs = [_Job(index, seed) for index, seed in enumerate(self.seeds)]
+        self.tracer.emit("run_start",
+                         target=_target_name(self.target), parallel=True,
+                         seeds=list(self.seeds), processes=self.processes,
+                         max_retries=self.max_retries)
+        start = time.monotonic()
         if self.processes == 1:
             self._run_inprocess(jobs)
         else:
             self._run_pool(jobs)
         self.merged._regroup()
+        self.tracer.emit("run_end", target=self.merged.target_name,
+                         duration_s=round(time.monotonic() - start, 6),
+                         summary=self.merged.summary())
         return self.merged
 
     # ------------------------------------------------------------------
@@ -198,13 +212,32 @@ class ParallelFuzzService:
         retry job if the attempt failed and has retry budget left."""
         worker_id, attempt, seed, status, value = outcome
         stats = WorkerStats(worker_id, seed, attempt)
+        merge_seconds = 0.0
         if status == "ok":
             stats.record(value)
+            merge_start = time.monotonic()
             self.merged.merge(value)
+            merge_seconds = time.monotonic() - merge_start
         else:
             stats.fail(value, "timeout" if status == "timeout"
                        else "failed")
         self.merged.worker_stats.append(stats)
+        if self.metrics is not None:
+            self.metrics.counter("parallel.attempts").inc()
+            self.metrics.counter("parallel.attempts.%s" % stats.status).inc()
+            self.metrics.counter("parallel.merged_campaigns").inc(
+                stats.campaigns)
+            self.metrics.histogram("parallel.merge_seconds").observe(
+                merge_seconds)
+            self.metrics.histogram("parallel.worker_seconds").observe(
+                stats.duration)
+        if self.tracer.enabled:
+            self.tracer.emit("worker", worker_id=worker_id, seed=seed,
+                             attempt=attempt, status=stats.status,
+                             campaigns=stats.campaigns,
+                             duration_s=round(stats.duration, 6),
+                             merge_s=round(merge_seconds, 6),
+                             merged_campaigns=self.merged.campaigns)
         if self.progress is not None:
             self.progress(stats, self.merged)
         if stats.status != "ok" and attempt < self.max_retries:
@@ -272,7 +305,7 @@ class ParallelFuzzService:
 
 def fuzz_parallel(target, config=None, seeds=(7, 13, 42, 99),
                   processes=None, worker_timeout=None, max_retries=1,
-                  progress=None):
+                  progress=None, tracer=None, metrics=None):
     """Fuzz ``target`` with one worker session per seed; merged result.
 
     Args:
@@ -291,6 +324,10 @@ def fuzz_parallel(target, config=None, seeds=(7, 13, 42, 99),
         progress: Optional callable ``progress(stats, merged)`` invoked
             after every worker attempt with that attempt's
             :class:`WorkerStats` and the merged-so-far result.
+        tracer: Optional :class:`~repro.obs.tracer.Tracer` (parent-side:
+            worker lifecycle becomes typed ``worker`` events).
+        metrics: Optional :class:`~repro.obs.metrics.Metrics` counting
+            attempts, merged campaigns, and merge/worker durations.
 
     Returns:
         A fresh merged :class:`~repro.core.engine.RunResult` whose
@@ -301,4 +338,5 @@ def fuzz_parallel(target, config=None, seeds=(7, 13, 42, 99),
                                processes=processes,
                                worker_timeout=worker_timeout,
                                max_retries=max_retries,
-                               progress=progress).run()
+                               progress=progress, tracer=tracer,
+                               metrics=metrics).run()

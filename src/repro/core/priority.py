@@ -68,9 +68,17 @@ class SharedAccessQueue:
     signal matching.
     """
 
-    def __init__(self):
+    def __init__(self, metrics=None):
         self._groups = {}
         self._explored = set()
+        if metrics is not None:
+            self._m_fetches = metrics.counter("queue.fetches")
+            self._m_drained = metrics.counter("queue.drained")
+            self._m_pending = metrics.gauge("queue.pending")
+            self._m_groups = metrics.gauge("queue.groups")
+        else:
+            self._m_fetches = self._m_drained = None
+            self._m_pending = self._m_groups = None
 
     def update_from(self, profiler):
         """Fold one campaign's :class:`AccessProfiler` into the queue."""
@@ -94,6 +102,9 @@ class SharedAccessQueue:
                 if info["count"] > group["addr_freq"]:
                     group["addr"] = addr
                     group["addr_freq"] = info["count"]
+        if self._m_groups is not None:
+            self._m_groups.set(len(self._groups))
+            self._m_pending.set(self.pending())
 
     def fetch(self):
         """Pop the most frequent unexplored group, or None when drained."""
@@ -104,8 +115,13 @@ class SharedAccessQueue:
             if best is None or group["frequency"] > best["frequency"]:
                 best_key, best = key, group
         if best is None:
+            if self._m_drained is not None:
+                self._m_drained.inc()
             return None
         self._explored.add(best_key)
+        if self._m_fetches is not None:
+            self._m_fetches.inc()
+            self._m_pending.set(self.pending())
         return SharedAccessEntry(best["addr"], best["loads"], best_key,
                                  best["frequency"])
 

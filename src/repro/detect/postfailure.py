@@ -15,9 +15,12 @@ A whitelist pass (redo-log / checksum protected reads) runs after
 validation to catch the false positives validation structurally cannot see.
 """
 
+import bisect
+
 from ..instrument.context import InstrumentationContext
 from ..instrument.events import Observer
 from ..instrument.hooks import PmView
+from ..obs.tracer import NULL_TRACER
 from ..pmem.pool import PmemPool
 from ..runtime.policies import RoundRobinPolicy
 from ..runtime.scheduler import Scheduler
@@ -26,30 +29,49 @@ from .whitelist import Whitelist
 
 
 class WriteRecorder(Observer):
-    """Records the byte ranges written during recovery."""
+    """Records the byte ranges written during recovery.
+
+    ``intervals`` is kept sorted, disjoint, and coalesced (touching
+    intervals are merged) *incrementally* on every store, so a coverage
+    query is one binary search — O(log n) — instead of re-sorting the
+    raw store log per query. Recovery code with thousands of writes is
+    queried once per recorded side effect; the old sort-per-query made
+    that O(n log n) each time.
+    """
 
     def __init__(self):
+        #: Sorted list of disjoint, non-touching ``(start, stop)`` pairs.
         self.intervals = []
 
     def on_store(self, event):
-        self.intervals.append((event.addr, event.addr + event.size))
+        if event.size <= 0:
+            return
+        start, stop = event.addr, event.addr + event.size
+        intervals = self.intervals
+        # Leftmost existing interval that overlaps or touches [start, stop):
+        # predecessor first (it may extend past `start`), then absorb every
+        # successor starting at or before `stop`.
+        lo = bisect.bisect_right(intervals, (start,)) - 1
+        if lo >= 0 and intervals[lo][1] >= start:
+            start = min(start, intervals[lo][0])
+        else:
+            lo += 1
+        hi = lo
+        while hi < len(intervals) and intervals[hi][0] <= stop:
+            stop = max(stop, intervals[hi][1])
+            hi += 1
+        intervals[lo:hi] = [(start, stop)]
 
     def covers(self, addr, size):
         """True iff ``[addr, addr+size)`` is fully covered by recorded writes."""
         if size <= 0:
             return True
-        spans = sorted(self.intervals)
-        cursor = addr
-        end = addr + size
-        for start, stop in spans:
-            if stop <= cursor:
-                continue
-            if start > cursor:
-                return False
-            cursor = max(cursor, stop)
-            if cursor >= end:
-                return True
-        return cursor >= end
+        # Coalesced + disjoint: a contiguous range is covered iff one
+        # interval contains it entirely. Find the rightmost interval
+        # whose start is <= addr (the inf sentinel sorts after any stop).
+        index = bisect.bisect_right(self.intervals,
+                                    (addr, float("inf"))) - 1
+        return index >= 0 and self.intervals[index][1] >= addr + size
 
 
 class PostFailureValidator:
@@ -62,12 +84,19 @@ class PostFailureValidator:
         whitelist: Optional :class:`~repro.detect.whitelist.Whitelist`.
         probe_hangs: Also run the target's post-recovery probe operation
             under a bounded scheduler to demonstrate hangs on sync bugs.
+        tracer: Optional :class:`~repro.obs.tracer.Tracer`; every verdict
+            is emitted as a typed ``verdict`` event.
+        metrics: Optional :class:`~repro.obs.metrics.Metrics`; verdicts
+            count into ``validate.verdict.<verdict>``.
     """
 
-    def __init__(self, target_factory, whitelist=None, probe_hangs=False):
+    def __init__(self, target_factory, whitelist=None, probe_hangs=False,
+                 tracer=None, metrics=None):
         self.target_factory = target_factory
         self.whitelist = whitelist or Whitelist()
         self.probe_hangs = probe_hangs
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
 
     # ------------------------------------------------------------------
 
@@ -84,6 +113,16 @@ class PostFailureValidator:
 
     def validate(self, record):
         """Assign and return the verdict for one inconsistency record."""
+        verdict = self._assign(record)
+        if self.metrics is not None:
+            self.metrics.counter("validate.records").inc()
+            self.metrics.counter("validate.verdict.%s" % verdict.value).inc()
+        if self.tracer.enabled:
+            self.tracer.emit("verdict", kind=record.kind,
+                             verdict=verdict.value, note=record.note)
+        return verdict
+
+    def _assign(self, record):
         if record.crash_image is None:
             record.verdict = Verdict.PENDING
             record.note = "no crash image captured"

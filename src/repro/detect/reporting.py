@@ -98,6 +98,7 @@ def dump_run_result(result, path):
         "candidates": [record_to_dict(c) for c in result.candidates],
         "workers": [stats.to_dict()
                     for stats in getattr(result, "worker_stats", ())],
+        "profile": getattr(result, "profile", {}),
     }
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2)

@@ -21,13 +21,17 @@ class InstrumentationContext:
         taint_enabled: Disable to measure the taint ablation.
         capture_stacks: Record stacks for candidate loads / annotated
             stores (needed by the whitelist and bug reports).
+        metrics: Optional :class:`~repro.obs.metrics.Metrics` registry;
+            hooks bind their counters from it once at construction, so
+            the disabled path costs one None-check per access.
     """
 
     def __init__(self, annotations=None, taint_enabled=True,
-                 capture_stacks=True):
+                 capture_stacks=True, metrics=None):
         self.annotations = annotations
         self.taint_enabled = taint_enabled
         self.capture_stacks = capture_stacks
+        self.metrics = metrics
         self.observers = []
         #: Sync-point controller (duck-typed: before_load / after_store).
         self.controller = None

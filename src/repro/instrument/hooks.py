@@ -37,6 +37,18 @@ class PmView:
         self.pool = pool
         self.scheduler = scheduler
         self.ctx = ctx
+        # Bind observability counters once; the disabled path then costs
+        # a single attribute-is-None check per instrumented access.
+        metrics = ctx.metrics
+        if metrics is not None:
+            self._m_loads = metrics.counter("pm.loads")
+            self._m_stores = metrics.counter("pm.stores")
+            self._m_cas = metrics.counter("pm.cas")
+            self._m_flushes = metrics.counter("pm.flushes")
+            self._m_fences = metrics.counter("pm.fences")
+        else:
+            self._m_loads = self._m_stores = self._m_cas = None
+            self._m_flushes = self._m_fences = None
 
     # ------------------------------------------------------------------
     # plumbing
@@ -59,6 +71,8 @@ class PmView:
     # loads
 
     def _load(self, addr, size, decode):
+        if self._m_loads is not None:
+            self._m_loads.inc()
         addr_int = int(addr)
         instr = call_site()
         thread = self._thread()
@@ -92,6 +106,8 @@ class PmView:
     # stores
 
     def _store(self, addr, size, value, encoded, ntstore):
+        if self._m_stores is not None:
+            self._m_stores.inc()
         addr_int = int(addr)
         instr = call_site()
         thread = self._thread()
@@ -138,6 +154,8 @@ class PmView:
         happen without an intervening preemption point, like a LOCK-
         prefixed CMPXCHG.
         """
+        if self._m_cas is not None:
+            self._m_cas.inc()
         addr_int = int(addr)
         instr = call_site()
         thread = self._thread()
@@ -173,6 +191,8 @@ class PmView:
     # persistency instructions
 
     def clwb(self, addr):
+        if self._m_flushes is not None:
+            self._m_flushes.inc()
         addr_int = int(addr)
         instr = call_site()
         thread = self._thread()
@@ -183,6 +203,8 @@ class PmView:
             "clwb", addr_int, 0, None, thread, instr))
 
     def sfence(self):
+        if self._m_fences is not None:
+            self._m_fences.inc()
         instr = call_site()
         thread = self._thread()
         self._yield()

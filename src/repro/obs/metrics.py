@@ -1,0 +1,222 @@
+"""Metrics registry: counters, gauges, histograms.
+
+Instruments are created lazily through the registry
+(``metrics.counter("pm.loads")``) and cached by name, so hot paths can
+bind an instrument once (e.g. in a constructor) and then pay only a
+method call per update. The registry serializes to the same JSONL
+convention as the tracer: a ``metrics_header`` line followed by one
+``metric`` record per instrument, parseable by ``repro stats``.
+"""
+
+import bisect
+import json
+
+from .tracer import SCHEMA_VERSION
+
+#: Default histogram bucket upper bounds (values in arbitrary units;
+#: chosen to cover both sub-second durations and step/campaign counts).
+DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 50, 100,
+                   500, 1000, 5000, 10000, 50000, 100000)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+    kind = "counter"
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n=1):
+        self.value += n
+
+    def to_dict(self):
+        return {"kind": self.kind, "name": self.name, "value": self.value}
+
+    def __repr__(self):
+        return "<Counter %s=%d>" % (self.name, self.value)
+
+
+class Gauge:
+    """A value that goes up and down (e.g. queue depth)."""
+
+    __slots__ = ("name", "value")
+    kind = "gauge"
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+
+    def set(self, value):
+        self.value = value
+
+    def inc(self, n=1):
+        self.value += n
+
+    def dec(self, n=1):
+        self.value -= n
+
+    def to_dict(self):
+        return {"kind": self.kind, "name": self.name, "value": self.value}
+
+    def __repr__(self):
+        return "<Gauge %s=%r>" % (self.name, self.value)
+
+
+class Histogram:
+    """A distribution: count, sum, and cumulative-style bucket counts.
+
+    ``buckets[i]`` counts observations ``<= bounds[i]``; one overflow
+    slot counts the rest. Mean is recoverable as ``sum / count``.
+    """
+
+    __slots__ = ("name", "bounds", "buckets", "count", "total")
+    kind = "histogram"
+
+    def __init__(self, name, bounds=DEFAULT_BUCKETS):
+        self.name = name
+        self.bounds = tuple(bounds)
+        self.buckets = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value):
+        self.count += 1
+        self.total += value
+        self.buckets[bisect.bisect_left(self.bounds, value)] += 1
+
+    @property
+    def mean(self):
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self):
+        return {"kind": self.kind, "name": self.name, "count": self.count,
+                "sum": self.total, "bounds": list(self.bounds),
+                "buckets": list(self.buckets)}
+
+    def __repr__(self):
+        return "<Histogram %s n=%d mean=%.4g>" % (self.name, self.count,
+                                                  self.mean)
+
+
+class Metrics:
+    """Name-keyed registry of instruments."""
+
+    def __init__(self):
+        self._instruments = {}
+
+    def _get(self, name, factory, kind):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = self._instruments[name] = factory()
+        elif instrument.kind != kind:
+            raise TypeError("metric %r is a %s, not a %s"
+                            % (name, instrument.kind, kind))
+        return instrument
+
+    def counter(self, name):
+        return self._get(name, lambda: Counter(name), "counter")
+
+    def gauge(self, name):
+        return self._get(name, lambda: Gauge(name), "gauge")
+
+    def histogram(self, name, bounds=DEFAULT_BUCKETS):
+        return self._get(name, lambda: Histogram(name, bounds), "histogram")
+
+    def __len__(self):
+        return len(self._instruments)
+
+    def __contains__(self, name):
+        return name in self._instruments
+
+    def __iter__(self):
+        return iter(self._instruments.values())
+
+    def value(self, name, default=None):
+        """Current value of a counter/gauge (None-safe convenience)."""
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            return default
+        return getattr(instrument, "value", default)
+
+    # ------------------------------------------------------------------
+    # serialization
+
+    def snapshot(self):
+        """Plain dict of every instrument, sorted by name."""
+        return {name: self._instruments[name].to_dict()
+                for name in sorted(self._instruments)}
+
+    def records(self):
+        """JSONL-ready record dicts (header first)."""
+        yield {"type": "metrics_header", "schema": SCHEMA_VERSION}
+        for name in sorted(self._instruments):
+            record = {"type": "metric"}
+            record.update(self._instruments[name].to_dict())
+            yield record
+
+    def dump(self, sink):
+        """Write the registry as JSONL to a path or file-like sink."""
+        if hasattr(sink, "write"):
+            for record in self.records():
+                sink.write(json.dumps(record, sort_keys=True) + "\n")
+            return sink
+        with open(sink, "w") as handle:
+            self.dump(handle)
+        return sink
+
+    # ------------------------------------------------------------------
+    # aggregation
+
+    def merge(self, other):
+        """Fold another registry in (counters add, gauges take the other
+        side's value, histograms merge element-wise)."""
+        for instrument in other:
+            if instrument.kind == "counter":
+                self.counter(instrument.name).inc(instrument.value)
+            elif instrument.kind == "gauge":
+                self.gauge(instrument.name).set(instrument.value)
+            else:
+                mine = self.histogram(instrument.name, instrument.bounds)
+                if mine.bounds != instrument.bounds:
+                    raise ValueError("histogram %r bucket bounds differ"
+                                     % (instrument.name,))
+                mine.count += instrument.count
+                mine.total += instrument.total
+                for index, count in enumerate(instrument.buckets):
+                    mine.buckets[index] += count
+        return self
+
+
+def load_metrics(path):
+    """Parse a JSONL metrics dump back into a :class:`Metrics` registry."""
+    metrics = Metrics()
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            rtype = record.get("type")
+            if rtype == "metrics_header":
+                if record.get("schema") != SCHEMA_VERSION:
+                    raise ValueError("unsupported metrics schema %r"
+                                     % (record.get("schema"),))
+                continue
+            if rtype != "metric":
+                raise ValueError("not a metrics record: %r" % (record,))
+            kind, name = record["kind"], record["name"]
+            if kind == "counter":
+                metrics.counter(name).inc(record["value"])
+            elif kind == "gauge":
+                metrics.gauge(name).set(record["value"])
+            elif kind == "histogram":
+                histogram = metrics.histogram(name, tuple(record["bounds"]))
+                histogram.count = record["count"]
+                histogram.total = record["sum"]
+                histogram.buckets = list(record["buckets"])
+            else:
+                raise ValueError("unknown metric kind %r" % (kind,))
+    return metrics

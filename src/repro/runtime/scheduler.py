@@ -66,16 +66,21 @@ class Scheduler:
             thread is considered permanently blocked (e.g. on a leaked
             lock) even while others progress; defaults to 4x the hang
             limit.
+        metrics: Optional :class:`~repro.obs.metrics.Metrics`; step
+            totals are flushed once per run (not per yield) so the step
+            loop itself stays observability-free.
     """
 
     def __init__(self, policy, max_steps=30_000, spin_hang_limit=400,
-                 thread_spin_limit=None):
+                 thread_spin_limit=None, metrics=None):
         self.policy = policy
         self.max_steps = max_steps
         self.spin_hang_limit = spin_hang_limit
         self.thread_spin_limit = thread_spin_limit or spin_hang_limit * 4
+        self.metrics = metrics
         self.threads = []
         self.steps = 0
+        self.spin_steps = 0
         self._lock = threading.Lock()
         self._done = threading.Event()
         self._aborting = False
@@ -120,6 +125,14 @@ class Scheduler:
                      None)
         if error is not None and self._outcome_status == "ok":
             self._outcome_status = "error"
+        if self.metrics is not None:
+            self.metrics.counter("scheduler.runs").inc()
+            self.metrics.counter("scheduler.steps").inc(self.steps)
+            self.metrics.counter("scheduler.spin_steps").inc(self.spin_steps)
+            self.metrics.counter(
+                "scheduler.outcome.%s" % self._outcome_status).inc()
+            self.metrics.histogram("scheduler.steps_per_run").observe(
+                self.steps)
         return RunOutcome(self._outcome_status, self.steps, error,
                           self._blocked_report)
 
@@ -162,6 +175,7 @@ class Scheduler:
             thread.steps += 1
             if kind == "spin":
                 thread.spin_streak += 1
+                self.spin_steps += 1
                 thread.blocked_reason = reason
             else:
                 thread.spin_streak = 0

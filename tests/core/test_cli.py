@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.cli import build_parser, main
+from repro.obs import read_trace
 
 
 class TestParser:
@@ -48,6 +49,21 @@ class TestParser:
         assert args.processes == 0
         assert args.worker_timeout is None
         assert args.max_retries == 1
+
+    def test_observability_flags(self):
+        args = build_parser().parse_args(
+            ["fuzz", "P-CLHT", "--trace-out", "t.jsonl",
+             "--metrics-out", "m.jsonl"])
+        assert args.trace_out == "t.jsonl"
+        assert args.metrics_out == "m.jsonl"
+
+    def test_validate_and_stats_commands(self):
+        args = build_parser().parse_args(["validate", "P-CLHT"])
+        assert args.command == "validate"
+        assert not hasattr(args, "parallel")
+        args = build_parser().parse_args(["stats", "trace.jsonl"])
+        assert args.command == "stats"
+        assert args.file == "trace.jsonl"
 
 
 class TestCommands:
@@ -104,3 +120,53 @@ class TestCommands:
                      "7", "--whitelist", str(wl)]) == 0
         out = capsys.readouterr().out
         assert "campaigns" in out
+
+
+class TestObservability:
+    def test_fuzz_trace_and_metrics_out(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.jsonl"
+        assert main(["fuzz", "P-CLHT", "--campaigns", "8", "--seeds", "7",
+                     "--trace-out", str(trace),
+                     "--metrics-out", str(metrics)]) == 0
+        err = capsys.readouterr().err
+        assert "trace written to" in err
+        assert "metrics written to" in err
+        records = list(read_trace(str(trace)))  # validates every record
+        types = {record["type"] for record in records}
+        assert {"trace_header", "run_start", "campaign", "run_end"} <= types
+        lines = [json.loads(line) for line
+                 in metrics.read_text().splitlines()]
+        assert lines[0]["type"] == "metrics_header"
+        names = {line["name"] for line in lines[1:]}
+        assert {"pm.stores", "scheduler.steps", "engine.campaigns"} <= names
+
+    def test_stats_on_cli_trace(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        assert main(["fuzz", "P-CLHT", "--campaigns", "8", "--seeds", "7",
+                     "--trace-out", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["stats", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "observability stats" in out
+        assert "coverage growth" in out
+
+    def test_stats_rejects_garbage(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        assert main(["stats", str(bad)]) == 2
+        assert "cannot summarize" in capsys.readouterr().err
+        assert main(["stats", str(tmp_path / "missing.jsonl")]) == 2
+
+    def test_validate_runs_separate_pass(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        assert main(["validate", "P-CLHT", "--campaigns", "8",
+                     "--seeds", "7", "--trace-out", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "post-failure validation:" in out
+        assert "unique bugs" in out
+        verdicts = [r for r in read_trace(str(trace))
+                    if r["type"] == "verdict"]
+        assert verdicts and all(r["verdict"] in
+                                ("bug", "validated_fp", "whitelisted_fp",
+                                 "pending") for r in verdicts)

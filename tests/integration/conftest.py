@@ -1,0 +1,8 @@
+"""Everything under tests/integration/ carries the integration marker."""
+
+import pytest
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        item.add_marker(pytest.mark.integration)

@@ -1,0 +1,143 @@
+"""Metrics registry tests: instruments, dump/load round-trip, merge."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, Metrics, load_metrics
+from repro.obs.metrics import DEFAULT_BUCKETS
+
+
+class TestInstruments:
+    def test_counter(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        assert counter.to_dict() == {"kind": "counter", "name": "c",
+                                     "value": 5}
+
+    def test_gauge(self):
+        gauge = Gauge("g")
+        gauge.set(10)
+        gauge.inc(2)
+        gauge.dec()
+        assert gauge.value == 11
+        assert gauge.to_dict()["kind"] == "gauge"
+
+    def test_histogram_buckets_and_mean(self):
+        histogram = Histogram("h", bounds=(1, 10, 100))
+        for value in (0.5, 5, 50, 500):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.buckets == [1, 1, 1, 1]
+        assert histogram.mean == pytest.approx(138.875)
+
+    def test_histogram_boundary_goes_to_lower_bucket(self):
+        histogram = Histogram("h", bounds=(1, 10))
+        histogram.observe(1)
+        histogram.observe(10)
+        assert histogram.buckets == [1, 1, 0]
+
+
+class TestRegistry:
+    def test_get_or_create_caches(self):
+        metrics = Metrics()
+        assert metrics.counter("a") is metrics.counter("a")
+        assert len(metrics) == 1
+        assert "a" in metrics
+
+    def test_kind_mismatch_raises(self):
+        metrics = Metrics()
+        metrics.counter("x")
+        with pytest.raises(TypeError):
+            metrics.gauge("x")
+
+    def test_value_convenience(self):
+        metrics = Metrics()
+        metrics.counter("a").inc(3)
+        assert metrics.value("a") == 3
+        assert metrics.value("missing", default=-1) == -1
+
+    def test_snapshot_sorted(self):
+        metrics = Metrics()
+        metrics.counter("z").inc()
+        metrics.gauge("a").set(2)
+        assert list(metrics.snapshot()) == ["a", "z"]
+
+    def test_dump_load_roundtrip(self, tmp_path):
+        metrics = Metrics()
+        metrics.counter("pm.loads").inc(42)
+        metrics.gauge("queue.pending").set(7)
+        histogram = metrics.histogram("steps", bounds=(10, 100))
+        histogram.observe(5)
+        histogram.observe(50)
+        path = str(tmp_path / "metrics.jsonl")
+        metrics.dump(path)
+
+        loaded = load_metrics(path)
+        assert loaded.value("pm.loads") == 42
+        assert loaded.value("queue.pending") == 7
+        reloaded = loaded.histogram("steps", bounds=(10, 100))
+        assert reloaded.count == 2
+        assert reloaded.buckets == [1, 1, 0]
+        assert loaded.snapshot() == metrics.snapshot()
+
+    def test_dump_is_valid_jsonl_with_header(self):
+        metrics = Metrics()
+        metrics.counter("a").inc()
+        sink = io.StringIO()
+        metrics.dump(sink)
+        records = [json.loads(line)
+                   for line in sink.getvalue().splitlines()]
+        assert records[0]["type"] == "metrics_header"
+        assert records[1] == {"type": "metric", "kind": "counter",
+                              "name": "a", "value": 1}
+
+    def test_load_rejects_bad_schema(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        path.write_text(
+            json.dumps({"type": "metrics_header", "schema": 999}) + "\n")
+        with pytest.raises(ValueError):
+            load_metrics(str(path))
+
+    def test_load_rejects_foreign_records(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        path.write_text(json.dumps({"type": "campaign"}) + "\n")
+        with pytest.raises(ValueError):
+            load_metrics(str(path))
+
+
+class TestMerge:
+    def test_merge_semantics(self):
+        left, right = Metrics(), Metrics()
+        left.counter("c").inc(2)
+        right.counter("c").inc(3)
+        left.gauge("g").set(1)
+        right.gauge("g").set(9)
+        left.histogram("h").observe(1)
+        right.histogram("h").observe(100)
+
+        left.merge(right)
+        assert left.value("c") == 5          # counters add
+        assert left.value("g") == 9          # gauges last-wins
+        merged = left.histogram("h")
+        assert merged.count == 2             # histograms element-wise
+        assert merged.total == pytest.approx(101.0)
+
+    def test_merge_mismatched_bounds_raises(self):
+        left, right = Metrics(), Metrics()
+        left.histogram("h", bounds=(1, 2))
+        right.histogram("h", bounds=(5,))
+        with pytest.raises(ValueError):
+            left.merge(right)
+
+    def test_merge_into_empty(self):
+        left, right = Metrics(), Metrics()
+        right.counter("only").inc(4)
+        left.merge(right)
+        assert left.value("only") == 4
+
+    def test_default_buckets_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)

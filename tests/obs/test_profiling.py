@@ -1,0 +1,75 @@
+"""RunProfiler and profile-merge tests."""
+
+import pytest
+
+from repro.obs import RunProfiler, merge_profiles
+
+
+class TestRunProfiler:
+    def test_phase_accumulates_time_and_count(self):
+        profiler = RunProfiler()
+        for _ in range(3):
+            with profiler.phase("campaign"):
+                pass
+        assert profiler.phase_counts == {"campaign": 3}
+        assert profiler.phase_seconds["campaign"] >= 0
+
+    def test_sample_rate_limited(self):
+        profiler = RunProfiler(sample_interval=60.0)
+        for executions in range(10):
+            profiler.sample(executions)
+        # first sample always kept; the rest fall inside the interval
+        assert len(profiler.samples) == 1
+        assert profiler.samples[0][1] == 0
+
+    def test_sample_unlimited_when_interval_zero(self):
+        profiler = RunProfiler(sample_interval=0.0)
+        for executions in range(5):
+            profiler.sample(executions)
+        assert [n for _, n in profiler.samples] == [0, 1, 2, 3, 4]
+
+    def test_to_dict_shape(self):
+        profiler = RunProfiler(sample_interval=0.0)
+        with profiler.phase("provide"):
+            pass
+        profiler.sample(10)
+        profile = profiler.to_dict(duration=2.0, executions=20)
+        assert profile["duration_s"] == 2.0
+        assert profile["executions"] == 20
+        assert profile["execs_per_sec"] == pytest.approx(10.0)
+        assert profile["phase_counts"] == {"provide": 1}
+        # final sample appended so the series ends at the true count
+        assert profile["samples"][-1][1] == 20
+
+    def test_to_dict_zero_duration(self):
+        profile = RunProfiler().to_dict(duration=0.0, executions=0)
+        assert profile["execs_per_sec"] == 0.0
+
+
+class TestMergeProfiles:
+    BASE = {"duration_s": 2.0, "executions": 10,
+            "execs_per_sec": 5.0,
+            "phase_seconds": {"campaign": 1.5},
+            "phase_counts": {"campaign": 10},
+            "samples": [[1.0, 5], [2.0, 10]]}
+    OTHER = {"duration_s": 3.0, "executions": 20,
+             "execs_per_sec": 6.667,
+             "phase_seconds": {"campaign": 2.0, "harvest": 0.5},
+             "phase_counts": {"campaign": 20, "harvest": 20},
+             "samples": [[1.0, 10], [3.0, 20]]}
+
+    def test_merge_adds_and_offsets(self):
+        merged = merge_profiles(self.BASE, self.OTHER)
+        assert merged["duration_s"] == pytest.approx(5.0)
+        assert merged["executions"] == 30
+        assert merged["execs_per_sec"] == pytest.approx(6.0)
+        assert merged["phase_seconds"]["campaign"] == pytest.approx(3.5)
+        assert merged["phase_counts"] == {"campaign": 30, "harvest": 20}
+        # other side's samples shifted by the base duration
+        assert merged["samples"] == [[1.0, 5], [2.0, 10],
+                                     [3.0, 10], [5.0, 20]]
+
+    def test_merge_with_empty_sides(self):
+        assert merge_profiles({}, {}) == {}
+        assert merge_profiles(self.BASE, {}) == self.BASE
+        assert merge_profiles({}, self.OTHER) == self.OTHER

@@ -1,0 +1,114 @@
+"""Tracer tests: JSONL validity, schema coverage, null fast path."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    EVENT_TYPES,
+    NULL_TRACER,
+    SCHEMA_VERSION,
+    NullTracer,
+    Tracer,
+    read_trace,
+    validate_record,
+)
+
+
+def records_of(sink):
+    return [json.loads(line) for line in sink.getvalue().splitlines()]
+
+
+class TestTracer:
+    def test_header_first(self):
+        sink = io.StringIO()
+        Tracer(sink)
+        records = records_of(sink)
+        assert records[0]["type"] == "trace_header"
+        assert records[0]["schema"] == SCHEMA_VERSION
+
+    def test_every_record_is_schema_valid_jsonl(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink)
+        tracer.emit("run_start", target="toy", mode="pmrace")
+        tracer.emit("campaign", index=1, new_branch=3, new_alias=0,
+                    branch_total=3, alias_total=0, status="ok")
+        tracer.emit("candidate", kind="inter-candidate", addr=64,
+                    read_code="a", write_code="b")
+        tracer.emit("verdict", kind="inter", verdict="bug", note="")
+        tracer.emit("run_end", summary={"campaigns": 1})
+        for record in records_of(sink):
+            validate_record(record)
+
+    def test_seq_monotonic_and_t_nonnegative(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink)
+        for _ in range(5):
+            tracer.emit("campaign", index=0)
+        records = records_of(sink)
+        assert [r["seq"] for r in records] == list(range(len(records)))
+        assert all(r["t"] >= 0 for r in records)
+
+    def test_unknown_event_type_rejected(self):
+        tracer = Tracer(io.StringIO())
+        with pytest.raises(ValueError):
+            tracer.emit("not_a_type")
+
+    def test_non_jsonable_fields_coerced(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink)
+        tracer.emit("run_start", sites=frozenset(["b", "a"]),
+                    pair=(1, 2), obj=object())
+        record = records_of(sink)[-1]
+        assert record["sites"] == ["a", "b"]
+        assert record["pair"] == [1, 2]
+        assert isinstance(record["obj"], str)
+
+    def test_span_emits_paired_records(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink)
+        with tracer.span("merge", worker=3):
+            pass
+        begin, end = records_of(sink)[-2:]
+        assert begin["type"] == "span_begin" and begin["name"] == "merge"
+        assert end["type"] == "span_end" and end["worker"] == 3
+        assert end["duration_s"] >= 0
+
+    def test_file_sink_roundtrip(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        with Tracer(path) as tracer:
+            tracer.emit("run_start", target="toy")
+        records = list(read_trace(path))
+        assert [r["type"] for r in records] == ["trace_header", "run_start"]
+
+    def test_read_trace_rejects_bad_schema(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps(
+            {"type": "trace_header", "t": 0, "seq": 0, "schema": 999}) + "\n")
+        with pytest.raises(ValueError):
+            list(read_trace(str(path)))
+
+    def test_validate_record_requires_fields(self):
+        with pytest.raises(ValueError):
+            validate_record({"type": "campaign"})  # no t/seq
+        with pytest.raises(ValueError):
+            validate_record({"type": "nope", "t": 0, "seq": 0})
+
+
+class TestNullTracer:
+    def test_disabled_and_silent(self):
+        tracer = NullTracer()
+        assert not tracer.enabled
+        tracer.emit("run_start", target="toy")
+        with tracer.span("anything"):
+            pass
+        tracer.flush()
+        tracer.close()
+
+    def test_shared_instance(self):
+        assert not NULL_TRACER.enabled
+
+    def test_event_types_frozen(self):
+        assert "campaign" in EVENT_TYPES
+        assert isinstance(EVENT_TYPES, frozenset)

@@ -9,6 +9,8 @@ from repro.runtime import (
     SimLock,
 )
 
+pytestmark = pytest.mark.slow
+
 
 class TestManyThreads:
     def test_eight_threads_complete(self):
