@@ -44,7 +44,8 @@ def run_campaign(target, state, seed_threads, policy, entry=None, rng=None,
                  initial_skips=None, writer_waiting=150, taint_enabled=True,
                  snapshot_images=True, capture_stacks=True,
                  max_steps=30_000, spin_hang_limit=400, extra_observers=(),
-                 metrics=None):
+                 metrics=None, callsites=None, evict_fraction=0.0,
+                 evict_rng=None):
     """Execute one campaign; returns a :class:`CampaignResult`.
 
     Args:
@@ -58,13 +59,20 @@ def run_campaign(target, state, seed_threads, policy, entry=None, rng=None,
         writer_waiting: Writer stall length after cond_signal.
         metrics: Optional :class:`~repro.obs.metrics.Metrics` registry
             wired into the PM access hooks and the scheduler.
+        callsites: The run-wide :class:`~repro.instrument.callsite.
+            CallSiteTable`; standalone campaigns get a private table.
+        evict_fraction: Per-line probability of pre-crash cache eviction
+            applied to the checker's crash images.
+        evict_rng: Campaign RNG for eviction sampling (from the engine so
+            eviction patterns follow the campaign seed).
     """
     ctx = InstrumentationContext(annotations=state.annotations,
                                  taint_enabled=taint_enabled,
                                  capture_stacks=capture_stacks,
-                                 metrics=metrics)
+                                 metrics=metrics, callsites=callsites)
     checker = ctx.add_observer(InconsistencyChecker(
-        state.pool, snapshot_images=snapshot_images))
+        state.pool, snapshot_images=snapshot_images, callsites=ctx.callsites,
+        evict_fraction=evict_fraction, evict_rng=evict_rng))
     branch = ctx.add_observer(BranchCoverageCollector())
     alias = ctx.add_observer(AliasCoverageCollector())
     profiler = ctx.add_observer(AccessProfiler())
@@ -77,7 +85,7 @@ def run_campaign(target, state, seed_threads, policy, entry=None, rng=None,
     if entry is not None:
         controller = SyncPointController(
             entry, scheduler, rng=rng, writer_waiting=writer_waiting,
-            initial_skips=initial_skips)
+            initial_skips=initial_skips, callsites=ctx.callsites)
         ctx.controller = controller
     instance = target.open(state, view, scheduler)
     op_errors = [0]

@@ -10,6 +10,11 @@ For ``libpmem``-based targets (memcached-pmem uses ``pmem_map_file``, a
 thin mmap wrapper) setup is already cheap and the paper recommends
 disabling checkpoints (§6.5); :func:`make_state_provider` honours that
 automatically unless forced.
+
+Restores are incremental: :class:`~repro.pmem.memory.PersistentMemory`
+journals which cache lines each campaign touched, so restoring the same
+snapshot again copies only those lines back instead of both full pools —
+the provide() cost scales with campaign activity, not pool size.
 """
 
 

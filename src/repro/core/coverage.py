@@ -10,6 +10,7 @@ AFL-style bitmap plays in the original.
 """
 
 from ..instrument.events import Observer
+from ..pmem.cacheline import WORD_SHIFT
 
 #: Persistency-state component of an access identity.
 STATE_CLEAN = "C"
@@ -87,11 +88,13 @@ class BranchCoverageCollector(Observer):
 class AliasCoverageCollector(Observer):
     """Per-campaign PM alias pair coverage (§4.2.1).
 
-    Tracks the previous access identity per word address; when the next
-    access to the same address comes from a *different thread*, the pair
-    ⟨(I₁,P₁,T₁),(I₂,P₂,T₂)⟩ is recorded. Thread IDs are normalized out of
-    the stored pair so a pair is "the same interleaving shape" regardless
-    of which worker threads happened to execute it.
+    Tracks the previous access identity per touched *word* (not the raw
+    start address: a multi-word or unaligned access aliases with accesses
+    at any offset into the same words); when the next access to a word
+    comes from a *different thread*, the pair ⟨(I₁,P₁,T₁),(I₂,P₂,T₂)⟩ is
+    recorded. Thread IDs are normalized out of the stored pair so a pair
+    is "the same interleaving shape" regardless of which worker threads
+    happened to execute it.
     """
 
     def __init__(self):
@@ -108,11 +111,24 @@ class AliasCoverageCollector(Observer):
         return (event.instr_id, state, event.tid)
 
     def _record(self, event):
+        size = event.size
+        if size <= 0:
+            return
         identity = self._identity(event)
-        prev = self._last.get(event.addr)
-        if prev is not None and prev[2] != identity[2]:
-            self.pairs.add((prev[0], prev[1], identity[0], identity[1]))
-        self._last[event.addr] = identity
+        last = self._last
+        first_word = event.addr >> WORD_SHIFT
+        last_word = (event.addr + size - 1) >> WORD_SHIFT
+        if first_word == last_word:
+            prev = last.get(first_word)
+            if prev is not None and prev[2] != identity[2]:
+                self.pairs.add((prev[0], prev[1], identity[0], identity[1]))
+            last[first_word] = identity
+            return
+        for word in range(first_word, last_word + 1):
+            prev = last.get(word)
+            if prev is not None and prev[2] != identity[2]:
+                self.pairs.add((prev[0], prev[1], identity[0], identity[1]))
+            last[word] = identity
 
     on_load = _record
     on_store = _record

@@ -55,7 +55,7 @@ class PMRaceConfig:
                  capture_stacks=True, validate=True, probe_hangs=False,
                  writer_waiting=150, max_steps=30_000, spin_hang_limit=400,
                  coverage_feedback="both", base_seed=0, whitelist=None,
-                 eadr=False, profile=True):
+                 eadr=False, profile=True, evict_fraction=0.0):
         self.mode = mode
         self.n_threads = n_threads
         self.ops_per_thread = ops_per_thread
@@ -80,6 +80,11 @@ class PMRaceConfig:
         self.whitelist = whitelist
         #: Simulate an eADR platform (persistent caches, §6.6).
         self.eadr = eadr
+        #: Per-line probability that a DIRTY line was evicted by the
+        #: hardware before a crash point (arbitrary cache eviction,
+        #: §2.1); sampled with a campaign RNG derived from ``base_seed``
+        #: so eviction patterns vary across campaigns and seeds.
+        self.evict_fraction = evict_fraction
         #: Collect per-phase wall times and execs/sec samples into
         #: ``RunResult.profile`` (a few clock reads per campaign); turn
         #: off for a true no-observability baseline.
@@ -317,6 +322,14 @@ class PMRace:
         mutator = OperationMutator(space, cfg.n_threads, cfg.ops_per_thread,
                                    rng=_random.Random(cfg.base_seed))
         priv_rng = _random.Random(cfg.base_seed + 1)
+        # Independent stream for crash-image eviction sampling so eviction
+        # patterns track the campaign seed without perturbing the
+        # privileged-election or mutation draws.
+        evict_rng = _random.Random(cfg.base_seed + 2)
+        # One interning table per run: skips, coverage, and the priority
+        # queue compare call-site ids across campaigns.
+        from ..instrument.callsite import CallSiteTable
+        callsites = CallSiteTable()
         corpus = [mutator.populate_seed(), mutator.initial_seed()]
         branch_cov = CoverageSet(self.metrics, "coverage.branch")
         alias_cov = CoverageSet(self.metrics, "coverage.alias")
@@ -390,7 +403,9 @@ class PMRace:
                         capture_stacks=cfg.capture_stacks,
                         max_steps=cfg.max_steps,
                         spin_hang_limit=cfg.spin_hang_limit,
-                        metrics=self.metrics)
+                        metrics=self.metrics, callsites=callsites,
+                        evict_fraction=cfg.evict_fraction,
+                        evict_rng=evict_rng)
                     if profiler is None:
                         campaign = run_campaign(self.target, state,
                                                 seed.threads, policy,

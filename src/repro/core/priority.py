@@ -5,6 +5,12 @@ Preemption points are selected by three principles: (1) PM accesses only,
 loads and stores, (3) frequent access sites first. Each queue entry groups
 the load and store instruction IDs observed at one address; the loads
 become the sync points of one explored interleaving.
+
+Instruction IDs here are whatever the event stream carries — interned
+ints within a fuzzing run (one CallSiteTable spans all campaigns, so the
+ids group correctly across campaigns). The queue never needs the string
+form: entries feed the sync-point controller, which compares them against
+other interned ids from the same table.
 """
 
 from ..instrument.events import Observer

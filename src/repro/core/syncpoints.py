@@ -39,14 +39,18 @@ class SyncPointController:
             every live thread, triggers the privileged-thread escape.
         some_block_threshold: Spin count after which the waiting thread
             gives up and disables the sync point (Pitfall 3).
+        callsites: Optional CallSiteTable to resolve interned instruction
+            ids into ``module:function:line`` for blocked-reason strings
+            (hang signatures must stay human-readable and stable).
     """
 
     def __init__(self, entry, scheduler, rng=None, writer_waiting=150,
                  initial_skips=None, all_block_threshold=40,
-                 some_block_threshold=1000):
+                 some_block_threshold=1000, callsites=None):
         self.entry = entry
         self.scheduler = scheduler
         self.rng = rng or random.Random(0)
+        self.callsites = callsites
         self.writer_waiting = writer_waiting
         self.all_block_threshold = all_block_threshold
         self.some_block_threshold = some_block_threshold
@@ -79,10 +83,13 @@ class SyncPointController:
             self._skips[instr_id] = skip - 1
             return
         self.stall_count += 1
+        site = self.callsites.name(instr_id) if self.callsites is not None \
+            else instr_id
+        reason = "cond_wait:%s" % site
         spins = 0
         while not self.signaled and self.enabled and not thread.bypass_sync:
             spins += 1
-            self.scheduler.yield_point("spin", "cond_wait:%s" % instr_id)
+            self.scheduler.yield_point("spin", reason)
             if (spins >= self.all_block_threshold
                     and self.scheduler.all_threads_blocked(
                         self.all_block_threshold // 2)):

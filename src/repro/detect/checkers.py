@@ -23,17 +23,33 @@ from .records import CandidateRecord, InconsistencyRecord, SyncInconsistencyReco
 class InconsistencyChecker(Observer):
     """The per-campaign checker; registered as a context observer.
 
+    Records carry *resolved* ``module:function:line`` strings even though
+    events arrive with interned int ids: resolution happens here, at the
+    detection boundary, so dedup keys and whitelist matching stay
+    comparable across campaigns, runs, and parallel workers.
+
     Args:
         pool: Pool under test (crash images are taken from it).
         snapshot_images: Disable to skip crash-image copies (faster, used
             when only counting, e.g. in Figure 8 timing runs).
         max_candidates: Safety bound on recorded candidates per campaign.
+        callsites: The run's :class:`~repro.instrument.callsite.
+            CallSiteTable`; None means events already carry strings
+            (hand-built events in tests) and ids pass through unchanged.
+        evict_fraction: Probability that each DIRTY line was evicted
+            before the crash point captured in a crash image (§2.1).
+        evict_rng: Campaign RNG for eviction sampling, threaded from the
+            engine so patterns vary with the campaign seed.
     """
 
-    def __init__(self, pool, snapshot_images=True, max_candidates=10_000):
+    def __init__(self, pool, snapshot_images=True, max_candidates=10_000,
+                 callsites=None, evict_fraction=0.0, evict_rng=None):
         self.pool = pool
         self.snapshot_images = snapshot_images
         self.max_candidates = max_candidates
+        self.callsites = callsites
+        self.evict_fraction = evict_fraction
+        self.evict_rng = evict_rng
         self.candidates = []
         self.inconsistencies = []
         self.sync_inconsistencies = []
@@ -41,6 +57,19 @@ class InconsistencyChecker(Observer):
         self._inconsistency_keys = set()
         self._sync_keys = set()
         self._labels = {}
+
+    # ------------------------------------------------------------------
+    # interned-id resolution (the int → string boundary)
+
+    def _site(self, instr_id):
+        if self.callsites is not None:
+            return self.callsites.name(instr_id)
+        return instr_id
+
+    def _stack_names(self, stack):
+        if self.callsites is not None and stack:
+            return self.callsites.names(stack)
+        return stack
 
     # ------------------------------------------------------------------
 
@@ -56,7 +85,8 @@ class InconsistencyChecker(Observer):
         """
         if not self.snapshot_images:
             return None
-        image = bytearray(self.pool.crash_image())
+        image = bytearray(self.pool.crash_image(self.evict_fraction,
+                                                self.evict_rng))
         if overlay_addr is not None and overlay_size > 0:
             end = min(overlay_addr + overlay_size, len(image))
             image[overlay_addr:end] = self.pool.memory.load(
@@ -72,10 +102,14 @@ class InconsistencyChecker(Observer):
                    writer.thread_id)
             candidate = self._candidate_keys.get(key)
             if candidate is None and len(self.candidates) < self.max_candidates:
+                # writer.instr_id is already a string (the hook layer
+                # resolves before attributing StoreRecords); the read
+                # side and stack resolve here.
                 candidate = CandidateRecord(
                     len(self.candidates), event.addr, event.size,
-                    event.instr_id, writer.instr_id, event.tid,
-                    writer.thread_id, event.stack, writer.seq,
+                    self._site(event.instr_id), writer.instr_id, event.tid,
+                    writer.thread_id, self._stack_names(event.stack),
+                    writer.seq,
                 )
                 self._candidate_keys[key] = candidate
                 self.candidates.append(candidate)
@@ -93,6 +127,7 @@ class InconsistencyChecker(Observer):
     def on_store(self, event):
         if not event.taint:
             return
+        side_effect_instr = None
         for label in event.taint:
             candidate = self.candidates[label.candidate_id] \
                 if label.candidate_id < len(self.candidates) else None
@@ -106,15 +141,23 @@ class InconsistencyChecker(Observer):
             if (event.same_value and event.addr == candidate.addr
                     and label not in event.addr_taint):
                 continue
-            record = InconsistencyRecord(
-                candidate, event.instr_id, event.addr, event.size,
-                label in event.addr_taint, event.stack, None,
-            )
-            key = record.dedup_key()
+            if side_effect_instr is None:
+                side_effect_instr = self._site(event.instr_id)
+            # Dedup on the key alone — the record (and its crash image)
+            # is only materialized for the first sighting. Almost every
+            # tainted store repeats an already-recorded combination.
+            key = ("inter" if candidate.cross_thread else "intra",
+                   candidate.write_instr, candidate.read_instr,
+                   side_effect_instr)
             if key in self._inconsistency_keys:
                 continue
             self._inconsistency_keys.add(key)
-            record.crash_image = self._image(event.addr, event.size)
+            record = InconsistencyRecord(
+                candidate, side_effect_instr, event.addr, event.size,
+                label in event.addr_taint, self._stack_names(event.stack),
+                self._image(event.addr, event.size),
+            )
+            assert record.dedup_key() == key
             self.inconsistencies.append(record)
 
     def on_annotated_store(self, annotation, event):
@@ -137,7 +180,8 @@ class InconsistencyChecker(Observer):
         self._sync_keys.add(key)
         record = SyncInconsistencyRecord(
             annotation.name, event.addr, annotation.size,
-            annotation.init_val, event.value, event.instr_id, event.stack,
+            annotation.init_val, event.value, self._site(event.instr_id),
+            self._stack_names(event.stack),
             self._image(event.addr, annotation.size),
         )
         self.sync_inconsistencies.append(record)

@@ -3,6 +3,11 @@
 "A *unique bug* is a group of bugs of reading non-persisted data written
 by the same store instruction or inconsistencies due to the same
 synchronization variable type."
+
+Keys are built from the resolved ``module:function:line`` strings stored
+on the records (the checker resolves interned event ids at record
+creation), so grouping is stable across campaigns, runs, and parallel
+workers that each own a different interning table.
 """
 
 from .records import BugReport, InconsistencyRecord, SyncInconsistencyRecord

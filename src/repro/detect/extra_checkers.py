@@ -35,8 +35,9 @@ class RedundantFlushChecker(Observer):
     real hardware. Deduplicated per flush site.
     """
 
-    def __init__(self, pool):
+    def __init__(self, pool, callsites=None):
         self.pool = pool
+        self.callsites = callsites
         self.records = {}
 
     def on_flush(self, event):
@@ -45,8 +46,10 @@ class RedundantFlushChecker(Observer):
                                          min(64, self.pool.size - line_start)):
             record = self.records.get(event.instr_id)
             if record is None:
+                instr = self.callsites.name(event.instr_id) \
+                    if self.callsites is not None else event.instr_id
                 self.records[event.instr_id] = RedundantFlushRecord(
-                    event.instr_id, event.addr)
+                    instr, event.addr)
             else:
                 record.count += 1
 
@@ -88,7 +91,7 @@ def scan_missing_flushes(pool, ignore_instrs=()):
             areas that are rebuilt anyway).
     """
     records = {}
-    for word, store in sorted(pool.memory._dirty_words.items()):
+    for word, store in pool.memory.dirty_words():
         instr = store.instr_id or "<unknown>"
         if any(pattern in instr for pattern in ignore_instrs):
             continue

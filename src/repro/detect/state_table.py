@@ -29,13 +29,26 @@ class WordEntry:
 
 
 class PersistencyStateTable(Observer):
-    """Event-driven reconstruction of per-word persistency states."""
+    """Event-driven reconstruction of per-word persistency states.
 
-    def __init__(self):
+    Args:
+        callsites: Optional :class:`~repro.instrument.callsite.
+            CallSiteTable` used to resolve interned instruction ids at
+            the query boundary (``writer_of``, ``redundant_flushes``);
+            internal bookkeeping keeps the raw event ids.
+    """
+
+    def __init__(self, callsites=None):
+        self.callsites = callsites
         self._words = {}
         self._pending_by_tid = {}
         #: CLWBs that hit fully-clean lines — redundant flush candidates.
         self.redundant_flushes = []
+
+    def _site(self, instr_id):
+        if self.callsites is not None:
+            return self.callsites.name(instr_id)
+        return instr_id
 
     def _word_range(self, addr, size):
         first = align_down(addr, WORD_SIZE)
@@ -63,7 +76,8 @@ class PersistencyStateTable(Observer):
                 dirty = True
                 self._pending_by_tid.setdefault(event.tid, set()).add(word)
         if not dirty:
-            self.redundant_flushes.append((event.instr_id, event.addr))
+            self.redundant_flushes.append((self._site(event.instr_id),
+                                           event.addr))
 
     def on_fence(self, event):
         pending = self._pending_by_tid.pop(event.tid, None)
@@ -87,7 +101,7 @@ class PersistencyStateTable(Observer):
         entry = self._words.get(align_down(addr, WORD_SIZE))
         if entry is None:
             return None
-        return entry.writer_tid, entry.write_instr
+        return entry.writer_tid, self._site(entry.write_instr)
 
     def is_clean(self, addr, size=8):
         return all(word not in self._words

@@ -9,6 +9,10 @@ is marked safe.
 
 The default whitelist covers PMDK's transactional allocations (redo-log
 protected, §4.4) and memcached-pmem's checksummed value reads.
+
+Matching happens on record stacks, which hold resolved
+``module:function:line`` strings (the checker resolves interned event ids
+when the record is created), so entries remain plain substrings.
 """
 
 #: Stack-location substrings that are crash-consistent by construction.

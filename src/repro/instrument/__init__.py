@@ -1,7 +1,7 @@
 """Instrumentation layer: hooked PM access API, taint tracking, annotations."""
 
 from .annotations import AnnotationRegistry, SyncVarAnnotation
-from .callsite import call_site, stack_trace
+from .callsite import CallSiteTable, call_site, stack_trace
 from .context import InstrumentationContext
 from .events import Observer, PmAccessEvent
 from .hooks import PmView
@@ -18,6 +18,7 @@ from .taint import (
 __all__ = [
     "AnnotationRegistry",
     "SyncVarAnnotation",
+    "CallSiteTable",
     "call_site",
     "stack_trace",
     "InstrumentationContext",

@@ -5,6 +5,26 @@ a unique integer ID. Here the "instruction" is the call site of a
 :class:`~repro.instrument.hooks.PmView` method, identified by the caller's
 ``module:function:line``. Bug deduplication ("same store instruction",
 §6.2) and the whitelist ("locations of codes", §4.4) both key on these.
+
+Two representations exist:
+
+* **Interned ints** — :class:`CallSiteTable` assigns each distinct call
+  site a small integer the first time it is seen, cached per
+  ``(f_code, f_lineno)`` so the hot path pays one frame fetch plus one
+  dict hit instead of string formatting per access. Events, coverage
+  sets, the priority queue, and sync-point bookkeeping all carry these.
+* **Strings** — the table's string table resolves an id back to its
+  ``module:function:line`` form at the detection boundary, so records,
+  dedup keys, whitelist entries, and reports look exactly like before
+  (and stay comparable across runs and parallel workers).
+
+Ids are canonicalized through the string: two code objects that format to
+the same ``module:function:line`` share one id, keeping id↔string a
+bijection (coverage counts cannot drift from string-keyed behaviour).
+
+The module-level :func:`call_site`/:func:`stack_trace` functions remain
+for uninstrumented callers (recovery views, tests) and always return
+strings.
 """
 
 import sys
@@ -22,8 +42,112 @@ def _describe(frame):
     return "%s:%s:%d" % (module, code.co_name, frame.f_lineno)
 
 
+class CallSiteTable:
+    """Per-run interning table for call-site instruction IDs.
+
+    One table spans all campaigns of a fuzzing run (the engine's skip
+    carry-over, coverage sets, and priority queue compare ids across
+    campaigns), created in :meth:`repro.core.engine.PMRace.run` and
+    threaded through the campaign into the instrumentation context.
+    """
+
+    __slots__ = ("_by_frame", "_by_name", "_names", "_code_internal")
+
+    def __init__(self):
+        #: (f_code, f_lineno) -> interned id (the hot-path cache).
+        self._by_frame = {}
+        #: canonical string -> interned id (makes id↔string a bijection).
+        self._by_name = {}
+        #: interned id -> canonical string.
+        self._names = []
+        #: f_code -> bool: is the frame's module instrumentation-internal?
+        self._code_internal = {}
+
+    def __len__(self):
+        return len(self._names)
+
+    # ------------------------------------------------------------------
+    # interning (hot path)
+
+    def intern_name(self, text):
+        """Intern an explicit ``module:function:line`` string."""
+        by_name = self._by_name
+        site_id = by_name.get(text)
+        if site_id is None:
+            site_id = len(self._names)
+            by_name[text] = site_id
+            self._names.append(text)
+        return site_id
+
+    def _intern_frame(self, frame):
+        key = (frame.f_code, frame.f_lineno)
+        site_id = self._by_frame.get(key)
+        if site_id is None:
+            site_id = self.intern_name(_describe(frame))
+            self._by_frame[key] = site_id
+        return site_id
+
+    def intern_caller(self, skip=2):
+        """Interned id of the first caller outside the instrumentation layer.
+
+        Args:
+            skip: Frames to skip before searching (the hook method itself).
+        """
+        frame = sys._getframe(skip)
+        code_internal = self._code_internal
+        while frame is not None:
+            code = frame.f_code
+            internal = code_internal.get(code)
+            if internal is None:
+                internal = frame.f_globals.get("__name__", "") \
+                    .startswith(_INTERNAL_PREFIXES)
+                code_internal[code] = internal
+            if not internal:
+                return self._intern_frame(frame)
+            frame = frame.f_back
+        return self.intern_name("<unknown>")
+
+    def intern_stack(self, skip=2, limit=16):
+        """Interned call-site ids from innermost outwards, as a tuple."""
+        frames = []
+        frame = sys._getframe(skip)
+        code_internal = self._code_internal
+        while frame is not None and len(frames) < limit:
+            code = frame.f_code
+            internal = code_internal.get(code)
+            if internal is None:
+                internal = frame.f_globals.get("__name__", "") \
+                    .startswith(_INTERNAL_PREFIXES)
+                code_internal[code] = internal
+            if not internal:
+                frames.append(self._intern_frame(frame))
+            frame = frame.f_back
+        return tuple(frames)
+
+    # ------------------------------------------------------------------
+    # resolution (detection boundary)
+
+    def name(self, site_id):
+        """``module:function:line`` of an interned id.
+
+        Non-ids (already-resolved strings, ``None`` from uninstrumented
+        events) pass through unchanged, so boundary code can resolve
+        unconditionally.
+        """
+        names = self._names
+        if type(site_id) is int and 0 <= site_id < len(names):
+            return names[site_id]
+        return site_id
+
+    def names(self, site_ids):
+        """Resolve a sequence of ids; returns a tuple of strings."""
+        name = self.name
+        return tuple(name(site_id) for site_id in site_ids)
+
+
 def call_site(skip=2):
-    """Instruction ID of the first caller outside the instrumentation layer.
+    """Instruction ID (string form) of the first caller outside the
+    instrumentation layer.
 
     Args:
         skip: Frames to skip before searching (the hook method itself).
@@ -31,7 +155,7 @@ def call_site(skip=2):
     frame = sys._getframe(skip)
     while frame is not None:
         module = frame.f_globals.get("__name__", "")
-        if not any(module.startswith(p) for p in _INTERNAL_PREFIXES):
+        if not module.startswith(_INTERNAL_PREFIXES):
             return _describe(frame)
         frame = frame.f_back
     return "<unknown>"
@@ -43,7 +167,7 @@ def stack_trace(skip=2, limit=16):
     frame = sys._getframe(skip)
     while frame is not None and len(frames) < limit:
         module = frame.f_globals.get("__name__", "")
-        if not any(module.startswith(p) for p in _INTERNAL_PREFIXES):
+        if not module.startswith(_INTERNAL_PREFIXES):
             frames.append(_describe(frame))
         frame = frame.f_back
     return frames

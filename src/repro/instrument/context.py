@@ -8,7 +8,8 @@ values stored to PM propagate to later loads of the same words, so
 multi-hop flows (store tainted → load → store elsewhere) are tracked.
 """
 
-from ..pmem.cacheline import WORD_SIZE, align_down
+from ..pmem.cacheline import words_of
+from .callsite import CallSiteTable
 from .taint import EMPTY
 
 
@@ -24,14 +25,20 @@ class InstrumentationContext:
         metrics: Optional :class:`~repro.obs.metrics.Metrics` registry;
             hooks bind their counters from it once at construction, so
             the disabled path costs one None-check per access.
+        callsites: Optional :class:`~repro.instrument.callsite.
+            CallSiteTable`. The engine passes one table per fuzzing run
+            (interned ids must stay comparable across campaigns); a
+            standalone context creates its own.
     """
 
     def __init__(self, annotations=None, taint_enabled=True,
-                 capture_stacks=True, metrics=None):
+                 capture_stacks=True, metrics=None, callsites=None):
         self.annotations = annotations
         self.taint_enabled = taint_enabled
         self.capture_stacks = capture_stacks
         self.metrics = metrics
+        self.callsites = callsites if callsites is not None \
+            else CallSiteTable()
         self.observers = []
         #: Sync-point controller (duck-typed: before_load / after_store).
         self.controller = None
@@ -39,6 +46,11 @@ class InstrumentationContext:
         self._shadow = {}
 
     def add_observer(self, observer):
+        # Observers that resolve interned instruction ids expose a
+        # ``callsites`` attribute; wire them to this context's table
+        # unless they were constructed with one explicitly.
+        if getattr(observer, "callsites", False) is None:
+            observer.callsites = self.callsites
         self.observers.append(observer)
         return observer
 
@@ -46,25 +58,28 @@ class InstrumentationContext:
     # shadow taint
 
     def _words(self, addr, size):
-        first = align_down(addr, WORD_SIZE)
-        last = align_down(addr + max(size, 1) - 1, WORD_SIZE)
-        return range(first, last + WORD_SIZE, WORD_SIZE)
+        return words_of(addr, max(size, 1))
 
     def shadow_store(self, addr, size, labels):
         if not self.taint_enabled:
             return
-        for word in self._words(addr, size):
-            if labels:
-                self._shadow[word] = labels
-            else:
-                self._shadow.pop(word, None)
+        shadow = self._shadow
+        if labels:
+            for word in words_of(addr, max(size, 1)):
+                shadow[word] = labels
+        elif shadow:
+            for word in words_of(addr, max(size, 1)):
+                shadow.pop(word, None)
 
     def shadow_load(self, addr, size):
         if not self.taint_enabled:
             return EMPTY
+        shadow = self._shadow
+        if not shadow:
+            return EMPTY
         labels = EMPTY
-        for word in self._words(addr, size):
-            extra = self._shadow.get(word)
+        for word in words_of(addr, max(size, 1)):
+            extra = shadow.get(word)
             if extra:
                 labels = labels | extra
         return labels

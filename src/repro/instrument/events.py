@@ -12,8 +12,14 @@ class PmAccessEvent:
         thread: The :class:`~repro.runtime.thread.SimThread`, or None when
             the access happens outside the scheduler (setup/recovery code).
         tid: Thread id (-1 outside the scheduler).
-        instr_id: Call-site instruction ID.
-        stack: Call-site stack (innermost first).
+        instr_id: Call-site instruction ID. Events published by
+            :class:`~repro.instrument.hooks.PmView` carry *interned ints*
+            from the context's CallSiteTable (resolve with
+            ``ctx.callsites.name(event.instr_id)``); hand-built events in
+            tests may carry strings directly — detection-boundary code
+            resolves both transparently.
+        stack: Call-site stack (innermost first; interned ids from
+            instrumented accesses).
         nonpersisted: StoreRecords of non-persisted writers overlapping a
             load's range (loads only).
         taint: Label set flowing into a store (content ∪ address flow).

@@ -11,16 +11,22 @@ LLVM pass hooks: loads, stores, non-temporal stores, CAS, ``CLWB``,
 4. publishes a :class:`~repro.instrument.events.PmAccessEvent` so checkers
    and coverage collectors observe it,
 5. propagates taint labels into/out of the loaded or stored value.
+
+Instruction ids on events are *interned ints* from the context's
+:class:`~repro.instrument.callsite.CallSiteTable`; ``StoreRecord``
+attribution in the memory substrate receives the resolved string (one
+list index here) so scans and reports keep their ``module:function:line``
+form without per-event resolution downstream.
 """
 
 import struct
 
 from ..pmem.cacheline import CACHE_LINE_SIZE, align_down
-from .callsite import call_site, stack_trace
 from .events import PmAccessEvent
 from .taint import EMPTY, merge_taints, taint_of, with_taint
 
 _U64 = struct.Struct("<Q")
+_U64_MASK = (1 << 64) - 1
 
 
 class PmView:
@@ -37,6 +43,9 @@ class PmView:
         self.pool = pool
         self.scheduler = scheduler
         self.ctx = ctx
+        # Bind the hot-path collaborators once per campaign.
+        self._memory = pool.memory
+        self._sites = ctx.callsites
         # Bind observability counters once; the disabled path then costs
         # a single attribute-is-None check per instrumented access.
         metrics = ctx.metrics
@@ -64,7 +73,7 @@ class PmView:
 
     def _stack(self, interesting):
         if interesting and self.ctx.capture_stacks:
-            return tuple(stack_trace())
+            return self._sites.intern_stack(skip=3)
         return ()
 
     # ------------------------------------------------------------------
@@ -74,13 +83,13 @@ class PmView:
         if self._m_loads is not None:
             self._m_loads.inc()
         addr_int = int(addr)
-        instr = call_site()
+        instr = self._sites.intern_caller(skip=3)
         thread = self._thread()
         if self.ctx.controller is not None and thread is not None:
             self.ctx.controller.before_load(addr_int, instr, thread)
         self._yield()
-        writers = self.pool.memory.nonpersisted_writers(addr_int, size)
-        raw = self.pool.memory.load(addr_int, size)
+        writers = self._memory.nonpersisted_writers(addr_int, size)
+        raw = self._memory.load(addr_int, size)
         event = PmAccessEvent(
             "load", addr_int, size, decode(raw), thread, instr,
             self._stack(bool(writers)), writers,
@@ -109,15 +118,17 @@ class PmView:
         if self._m_stores is not None:
             self._m_stores.inc()
         addr_int = int(addr)
-        instr = call_site()
+        instr = self._sites.intern_caller(skip=3)
         thread = self._thread()
         self._yield()
         content_taint = taint_of(value)
         addr_taint = taint_of(addr)
         taint = content_taint | addr_taint
         tid = thread.tid if thread is not None else -1
-        same_value = self.pool.memory.load(addr_int, size) == encoded
-        self.pool.memory.store(addr_int, encoded, tid, instr, ntstore=ntstore)
+        memory = self._memory
+        same_value = memory.load(addr_int, size) == encoded
+        memory.store(addr_int, encoded, tid, self._sites.name(instr),
+                     ntstore=ntstore)
         self.ctx.shadow_store(addr_int, size, content_taint)
         event = PmAccessEvent(
             "ntstore" if ntstore else "store", addr_int, size, value,
@@ -130,12 +141,12 @@ class PmView:
 
     def store_u64(self, addr, value):
         """Cached 64-bit store (leaves the line dirty until flushed)."""
-        self._store(addr, 8, value, _U64.pack(int(value) & (2 ** 64 - 1)),
+        self._store(addr, 8, value, _U64.pack(int(value) & _U64_MASK),
                     ntstore=False)
 
     def ntstore_u64(self, addr, value):
         """Non-temporal 64-bit store (write-through, immediately durable)."""
-        self._store(addr, 8, value, _U64.pack(int(value) & (2 ** 64 - 1)),
+        self._store(addr, 8, value, _U64.pack(int(value) & _U64_MASK),
                     ntstore=True)
 
     def store_bytes(self, addr, data):
@@ -157,11 +168,12 @@ class PmView:
         if self._m_cas is not None:
             self._m_cas.inc()
         addr_int = int(addr)
-        instr = call_site()
+        instr = self._sites.intern_caller()
         thread = self._thread()
         self._yield()
-        writers = self.pool.memory.nonpersisted_writers(addr_int, 8)
-        old = _U64.unpack(self.pool.memory.load(addr_int, 8))[0]
+        memory = self._memory
+        writers = memory.nonpersisted_writers(addr_int, 8)
+        old = _U64.unpack(memory.load(addr_int, 8))[0]
         load_event = PmAccessEvent(
             "load", addr_int, 8, old, thread, instr,
             self._stack(bool(writers)), writers,
@@ -174,8 +186,8 @@ class PmView:
         content_taint = taint_of(new)
         addr_taint = taint_of(addr)
         tid = thread.tid if thread is not None else -1
-        self.pool.memory.store(addr_int, _U64.pack(int(new) & (2 ** 64 - 1)),
-                               tid, instr, ntstore=False)
+        memory.store(addr_int, _U64.pack(int(new) & _U64_MASK),
+                     tid, self._sites.name(instr), ntstore=False)
         self.ctx.shadow_store(addr_int, 8, content_taint)
         store_event = PmAccessEvent(
             "cas", addr_int, 8, new, thread, instr,
@@ -194,22 +206,22 @@ class PmView:
         if self._m_flushes is not None:
             self._m_flushes.inc()
         addr_int = int(addr)
-        instr = call_site()
+        instr = self._sites.intern_caller()
         thread = self._thread()
         self._yield()
         tid = thread.tid if thread is not None else -1
-        self.pool.memory.clwb(addr_int, tid)
+        self._memory.clwb(addr_int, tid)
         self.ctx.dispatch_flush(PmAccessEvent(
             "clwb", addr_int, 0, None, thread, instr))
 
     def sfence(self):
         if self._m_fences is not None:
             self._m_fences.inc()
-        instr = call_site()
+        instr = self._sites.intern_caller()
         thread = self._thread()
         self._yield()
         tid = thread.tid if thread is not None else -1
-        self.pool.memory.sfence(tid)
+        self._memory.sfence(tid)
         self.ctx.dispatch_fence(PmAccessEvent(
             "sfence", None, 0, None, thread, instr))
 

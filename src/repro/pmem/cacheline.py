@@ -16,6 +16,19 @@ CACHE_LINE_SIZE = 64
 #: Size of the machine word used by the typed accessors.
 WORD_SIZE = 8
 
+#: Words per cache line; persistency tracking is a WORDS_PER_LINE-bit
+#: mask per line (bit *i* = word at ``line*CACHE_LINE_SIZE + i*WORD_SIZE``
+#: holds a non-persisted store).
+WORDS_PER_LINE = CACHE_LINE_SIZE // WORD_SIZE
+
+#: Mask with every word bit of one line set.
+FULL_LINE_MASK = (1 << WORDS_PER_LINE) - 1
+
+#: ``addr >> LINE_SHIFT`` is the line index; ``addr >> WORD_SHIFT`` the
+#: global word index.
+LINE_SHIFT = CACHE_LINE_SIZE.bit_length() - 1
+WORD_SHIFT = WORD_SIZE.bit_length() - 1
+
 
 class LineState(enum.Enum):
     """Persistency state of one cache line, as tracked by the substrate."""
@@ -40,6 +53,38 @@ def line_range(addr, size):
     first = line_of(addr)
     last = line_of(addr + size - 1)
     return range(first, last + 1)
+
+
+def words_of(addr, size):
+    """Word-aligned byte offsets of every word touched by the access.
+
+    Returns an empty range for ``size <= 0`` (e.g. clwb/sfence events).
+    """
+    if size <= 0:
+        return range(0)
+    first = addr - (addr % WORD_SIZE)
+    last = (addr + size - 1) >> WORD_SHIFT << WORD_SHIFT
+    return range(first, last + WORD_SIZE, WORD_SIZE)
+
+
+def line_word_masks(addr, size):
+    """Yield ``(line, mask)`` pairs covering ``[addr, addr+size)``.
+
+    ``mask`` has bit *i* set when word *i* of ``line`` is touched. This is
+    the geometry primitive behind the per-line word bitmasks in
+    :class:`~repro.pmem.memory.PersistentMemory`.
+    """
+    if size <= 0:
+        return
+    first_word = addr >> WORD_SHIFT
+    last_word = (addr + size - 1) >> WORD_SHIFT
+    first_line = first_word >> 3
+    last_line = last_word >> 3
+    for line in range(first_line, last_line + 1):
+        base = line << 3
+        lo = first_word - base if line == first_line else 0
+        hi = last_word - base if line == last_line else WORDS_PER_LINE - 1
+        yield line, ((1 << (hi + 1)) - (1 << lo))
 
 
 def line_bounds(line):

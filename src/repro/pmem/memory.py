@@ -13,19 +13,48 @@ Two views are maintained:
 Per-word last-writer records let checkers attribute a non-persisted read to
 the thread and instruction that produced the dirty data, exactly like the
 persistency-state hash table described in §4.3.
+
+Tracking layout
+---------------
+
+All per-line state lives in one dict, ``_lines``::
+
+    line index -> [LineState, word mask, [StoreRecord] * WORDS_PER_LINE]
+
+An entry exists iff its mask is nonzero (the line holds non-persisted
+words); a missing line is CLEAN. Stores, flushes, and fences are then a
+handful of integer mask operations per touched *line* instead of dict
+churn per touched *word*, and ``is_persisted`` is a single mask test.
+
+Two auxiliary indexes keep the hot paths O(touched lines):
+
+* ``_pending_by_thread`` / ``_pending_tids`` — forward and reverse maps
+  between threads and their outstanding CLWB lines. Whenever a line
+  leaves PENDING (fence persist, clflush, ntstore overwrite, or a
+  re-dirtying store) its membership is removed from *every* thread's
+  pending set, so a fence from one thread can never leak — or stale-
+  persist — lines another thread re-dirtied.
+* ``_journal`` — the set of lines whose bytes changed since the last
+  :meth:`snapshot`/:meth:`restore`. Restoring the snapshot a memory was
+  last reset to copies only those lines back instead of both full pools.
 """
 
 import random
 
 from .cacheline import (
     CACHE_LINE_SIZE,
+    LINE_SHIFT,
+    WORD_SHIFT,
     WORD_SIZE,
+    WORDS_PER_LINE,
     LineState,
-    align_down,
-    line_bounds,
-    line_range,
 )
 from .errors import OutOfBoundsError
+
+_DIRTY = LineState.DIRTY
+_PENDING = LineState.PENDING
+#: Words-per-line as a shift (8 words -> 3 bits of the word index).
+_WPL_SHIFT = WORDS_PER_LINE.bit_length() - 1
 
 
 class StoreRecord:
@@ -35,7 +64,10 @@ class StoreRecord:
         addr: Byte offset of the store.
         size: Store size in bytes.
         thread_id: Identifier of the storing thread.
-        instr_id: Instruction identifier (call-site) of the store.
+        instr_id: Instruction identifier (call-site) of the store. Always
+            the resolved ``module:function:line`` string (or whatever the
+            caller passes) — never an interned int — so scans and reports
+            can substring-match it directly.
         seq: Global sequence number (monotonic per memory instance).
         ntstore: Whether the store bypassed the cache.
     """
@@ -63,19 +95,25 @@ class StoreRecord:
 
 
 class MemorySnapshot:
-    """Opaque deep snapshot of a :class:`PersistentMemory` instance."""
+    """Opaque deep snapshot of a :class:`PersistentMemory` instance.
 
-    __slots__ = ("volatile", "persisted", "line_states", "dirty_words",
-                 "pending_by_thread", "seq")
+    ``origin`` records which memory produced it: restores onto the same
+    memory while the snapshot is still its base replay only the
+    journaled (touched) lines.
+    """
 
-    def __init__(self, volatile, persisted, line_states, dirty_words,
-                 pending_by_thread, seq):
+    __slots__ = ("volatile", "persisted", "lines", "pending_by_thread",
+                 "pending_tids", "seq", "origin")
+
+    def __init__(self, volatile, persisted, lines, pending_by_thread,
+                 pending_tids, seq, origin=None):
         self.volatile = volatile
         self.persisted = persisted
-        self.line_states = line_states
-        self.dirty_words = dirty_words
+        self.lines = lines
         self.pending_by_thread = pending_by_thread
+        self.pending_tids = pending_tids
         self.seq = seq
+        self.origin = origin
 
 
 class PersistentMemory:
@@ -102,12 +140,19 @@ class PersistentMemory:
         self.eadr = eadr
         self._volatile = bytearray(size)
         self._persisted = bytearray(size)
-        #: line index -> LineState; missing key means CLEAN.
-        self._line_states = {}
-        #: word-aligned offset -> StoreRecord of the latest non-persisted store.
-        self._dirty_words = {}
+        #: line index -> [LineState, word mask, per-word StoreRecords];
+        #: entry exists iff mask != 0 (otherwise the line is CLEAN).
+        self._lines = {}
         #: thread_id -> set of line indexes with an outstanding CLWB.
         self._pending_by_thread = {}
+        #: reverse index: line -> set of thread_ids holding it pending.
+        self._pending_tids = {}
+        #: lines whose volatile or persisted bytes changed since the last
+        #: snapshot/restore; drives incremental checkpoint restores.
+        self._journal = set()
+        self._journal_full = False
+        #: the snapshot this memory currently diverges from (if any).
+        self._base = None
         self._seq = 0
 
     # ------------------------------------------------------------------
@@ -116,11 +161,6 @@ class PersistentMemory:
     def _check(self, addr, size):
         if addr < 0 or size < 0 or addr + size > self.size:
             raise OutOfBoundsError(addr, size, self.size)
-
-    def _words_of(self, addr, size):
-        first = align_down(addr, WORD_SIZE)
-        last = align_down(addr + size - 1, WORD_SIZE)
-        return range(first, last + WORD_SIZE, WORD_SIZE)
 
     # ------------------------------------------------------------------
     # data path
@@ -133,24 +173,64 @@ class PersistentMemory:
         words clean.
         """
         size = len(data)
-        self._check(addr, size)
+        if addr < 0 or addr + size > self.size:
+            raise OutOfBoundsError(addr, size, self.size)
         self._seq += 1
         record = StoreRecord(addr, size, thread_id, instr_id, self._seq, ntstore)
         self._volatile[addr:addr + size] = data
+        if size == 0:
+            return record
         if self.eadr:
             ntstore = True  # battery-backed caches: every store is durable
+        lines = self._lines
+        journal = self._journal
+        first_word = addr >> WORD_SHIFT
+        last_word = (addr + size - 1) >> WORD_SHIFT
+        first_line = first_word >> _WPL_SHIFT
+        last_line = last_word >> _WPL_SHIFT
         if ntstore:
             self._persisted[addr:addr + size] = data
-            for word in self._words_of(addr, size):
-                self._dirty_words.pop(word, None)
-            for line in line_range(addr, size):
-                if not self._line_has_dirty_words(line):
-                    self._line_states.pop(line, None)
+            for line in range(first_line, last_line + 1):
+                journal.add(line)
+                entry = lines.get(line)
+                if entry is None:
+                    continue
+                base = line << _WPL_SHIFT
+                lo = first_word - base if line == first_line else 0
+                hi = last_word - base if line == last_line \
+                    else WORDS_PER_LINE - 1
+                remaining = entry[1] & ~((1 << (hi + 1)) - (1 << lo))
+                if remaining:
+                    entry[1] = remaining
+                    writers = entry[2]
+                    for w in range(lo, hi + 1):
+                        writers[w] = None
+                else:
+                    if entry[0] is _PENDING:
+                        self._unpend(line)
+                    del lines[line]
         else:
-            for word in self._words_of(addr, size):
-                self._dirty_words[word] = record
-            for line in line_range(addr, size):
-                self._line_states[line] = LineState.DIRTY
+            for line in range(first_line, last_line + 1):
+                journal.add(line)
+                base = line << _WPL_SHIFT
+                lo = first_word - base if line == first_line else 0
+                hi = last_word - base if line == last_line \
+                    else WORDS_PER_LINE - 1
+                entry = lines.get(line)
+                if entry is None:
+                    writers = [None] * WORDS_PER_LINE
+                    lines[line] = [_DIRTY, (1 << (hi + 1)) - (1 << lo),
+                                   writers]
+                else:
+                    if entry[0] is _PENDING:
+                        # Re-dirtying a pending line cancels the write-
+                        # back: a later fence must not persist it.
+                        self._unpend(line)
+                    entry[0] = _DIRTY
+                    entry[1] |= (1 << (hi + 1)) - (1 << lo)
+                    writers = entry[2]
+                for w in range(lo, hi + 1):
+                    writers[w] = record
         return record
 
     def load(self, addr, size):
@@ -166,47 +246,61 @@ class PersistentMemory:
     def clwb(self, addr, thread_id=None):
         """Initiate write-back of the line containing ``addr`` (DIRTY→PENDING)."""
         self._check(addr, 1)
-        for line in line_range(addr, 1):
-            state = self._line_states.get(line, LineState.CLEAN)
-            if state is LineState.CLEAN:
-                continue
-            self._line_states[line] = LineState.PENDING
-            self._pending_by_thread.setdefault(thread_id, set()).add(line)
+        line = addr >> LINE_SHIFT
+        entry = self._lines.get(line)
+        if entry is None:
+            return  # CLEAN: nothing to write back
+        entry[0] = _PENDING
+        self._pending_by_thread.setdefault(thread_id, set()).add(line)
+        self._pending_tids.setdefault(line, set()).add(thread_id)
 
     def clflush(self, addr, thread_id=None):
         """Flush-and-persist immediately (CLFLUSH is ordered by itself)."""
         self._check(addr, 1)
-        for line in line_range(addr, 1):
-            self._persist_line(line)
+        self._persist_line(addr >> LINE_SHIFT)
 
     def sfence(self, thread_id=None):
         """Persist every line the thread has CLWB'd since its last fence."""
         pending = self._pending_by_thread.pop(thread_id, None)
         if not pending:
             return
+        lines = self._lines
         for line in pending:
-            if self._line_states.get(line) is LineState.PENDING:
+            entry = lines.get(line)
+            if entry is not None and entry[0] is _PENDING:
                 self._persist_line(line)
 
     def _persist_line(self, line):
-        start, end = line_bounds(line)
-        end = min(end, self.size)
+        entry = self._lines.pop(line, None)
+        if entry is None:
+            return  # already CLEAN: volatile == persisted for this line
+        start = line << LINE_SHIFT
+        end = start + CACHE_LINE_SIZE
         self._persisted[start:end] = self._volatile[start:end]
-        self._line_states.pop(line, None)
-        for word in range(start, end, WORD_SIZE):
-            self._dirty_words.pop(word, None)
+        self._journal.add(line)
+        if entry[0] is _PENDING:
+            self._unpend(line)
 
-    def _line_has_dirty_words(self, line):
-        start, end = line_bounds(line)
-        return any(word in self._dirty_words
-                   for word in range(start, min(end, self.size), WORD_SIZE))
+    def _unpend(self, line):
+        """Drop ``line`` from every thread's pending set (leaves PENDING)."""
+        tids = self._pending_tids.pop(line, None)
+        if not tids:
+            return
+        by_thread = self._pending_by_thread
+        for tid in tids:
+            bucket = by_thread.get(tid)
+            if bucket is not None:
+                bucket.discard(line)
+                if not bucket:
+                    del by_thread[tid]
 
     def persist_all(self):
         """Persist the whole pool (used for clean-shutdown/setup phases)."""
         self._persisted[:] = self._volatile
-        self._line_states.clear()
-        self._dirty_words.clear()
+        self._lines.clear()
         self._pending_by_thread.clear()
+        self._pending_tids.clear()
+        self._journal_full = True
 
     # ------------------------------------------------------------------
     # persistency queries (the checkers' view)
@@ -214,27 +308,85 @@ class PersistentMemory:
     def line_state(self, addr):
         """Return the :class:`LineState` of the line containing ``addr``."""
         self._check(addr, 1)
-        return self._line_states.get(addr // CACHE_LINE_SIZE, LineState.CLEAN)
+        entry = self._lines.get(addr >> LINE_SHIFT)
+        return LineState.CLEAN if entry is None else entry[0]
 
     def is_persisted(self, addr, size):
         """True iff no byte in ``[addr, addr+size)`` has a non-persisted store."""
         self._check(addr, size)
-        return not any(word in self._dirty_words
-                       for word in self._words_of(addr, size))
+        lines = self._lines
+        if not lines or size <= 0:
+            return True
+        first_word = addr >> WORD_SHIFT
+        last_word = (addr + size - 1) >> WORD_SHIFT
+        first_line = first_word >> _WPL_SHIFT
+        last_line = last_word >> _WPL_SHIFT
+        if first_line == last_line:
+            entry = lines.get(first_line)
+            if entry is None:
+                return True
+            base = first_line << _WPL_SHIFT
+            mask = (1 << (last_word - base + 1)) - (1 << (first_word - base))
+            return not (entry[1] & mask)
+        for line in range(first_line, last_line + 1):
+            entry = lines.get(line)
+            if entry is None:
+                continue
+            base = line << _WPL_SHIFT
+            lo = first_word - base if line == first_line else 0
+            hi = last_word - base if line == last_line else WORDS_PER_LINE - 1
+            if entry[1] & ((1 << (hi + 1)) - (1 << lo)):
+                return False
+        return True
 
     def nonpersisted_writers(self, addr, size):
         """Return StoreRecords of non-persisted stores overlapping the range."""
         self._check(addr, size)
+        lines = self._lines
+        if not lines or size <= 0:
+            return []
+        first_word = addr >> WORD_SHIFT
+        last_word = (addr + size - 1) >> WORD_SHIFT
+        first_line = first_word >> _WPL_SHIFT
+        last_line = last_word >> _WPL_SHIFT
         seen = []
-        for word in self._words_of(addr, size):
-            record = self._dirty_words.get(word)
-            if record is not None and record not in seen:
-                seen.append(record)
+        for line in range(first_line, last_line + 1):
+            entry = lines.get(line)
+            if entry is None:
+                continue
+            base = line << _WPL_SHIFT
+            lo = first_word - base if line == first_line else 0
+            hi = last_word - base if line == last_line else WORDS_PER_LINE - 1
+            masked = entry[1] & ((1 << (hi + 1)) - (1 << lo))
+            if not masked:
+                continue
+            writers = entry[2]
+            while masked:
+                low = masked & -masked
+                record = writers[low.bit_length() - 1]
+                if record is not None and record not in seen:
+                    seen.append(record)
+                masked ^= low
         return seen
 
     def dirty_line_count(self):
         """Number of lines currently not CLEAN."""
-        return len(self._line_states)
+        return len(self._lines)
+
+    def dirty_words(self):
+        """Yield ``(word_addr, StoreRecord)`` for every non-persisted word,
+        in ascending address order (the missing-flush scan's input)."""
+        lines = self._lines
+        for line in sorted(lines):
+            entry = lines[line]
+            mask = entry[1]
+            writers = entry[2]
+            base = line << LINE_SHIFT
+            while mask:
+                low = mask & -mask
+                index = low.bit_length() - 1
+                yield base + (index << WORD_SHIFT), writers[index]
+                mask ^= low
 
     # ------------------------------------------------------------------
     # crashes and snapshots
@@ -244,42 +396,80 @@ class PersistentMemory:
 
         Args:
             evict_fraction: Probability that a DIRTY line was evicted by the
-                hardware before the crash (arbitrary cache eviction, §2.1).
-            rng: Optional ``random.Random`` for eviction sampling.
+                hardware before the crash (arbitrary cache eviction, §2.1);
+                each line is sampled independently.
+            rng: ``random.Random`` for eviction sampling. Pass the campaign
+                RNG so eviction patterns vary across campaigns/seeds; the
+                seed-0 fallback exists only for ad-hoc standalone use.
         """
+        if evict_fraction > 0.0 and rng is None:
+            rng = random.Random(0)
         image = bytearray(self._persisted)
         survivors = []
-        for line, state in self._line_states.items():
-            if state is LineState.PENDING and self.pending_persists_on_crash:
+        for line, entry in self._lines.items():
+            if entry[0] is _PENDING and self.pending_persists_on_crash:
                 survivors.append(line)
-            elif evict_fraction > 0.0:
-                rng = rng or random.Random(0)
-                if rng.random() < evict_fraction:
-                    survivors.append(line)
+            elif evict_fraction > 0.0 and rng.random() < evict_fraction:
+                survivors.append(line)
         for line in survivors:
-            start, end = line_bounds(line)
-            end = min(end, self.size)
+            start = line << LINE_SHIFT
+            end = start + CACHE_LINE_SIZE
             image[start:end] = self._volatile[start:end]
         return bytes(image)
 
     def snapshot(self):
-        """Capture a deep snapshot (volatile + persisted + metadata)."""
-        return MemorySnapshot(
-            bytearray(self._volatile),
-            bytearray(self._persisted),
-            dict(self._line_states),
-            dict(self._dirty_words),
-            {tid: set(lines) for tid, lines in self._pending_by_thread.items()},
+        """Capture a deep snapshot (volatile + persisted + metadata).
+
+        Also resets the dirty-line journal: until the next snapshot or a
+        restore of a *different* snapshot, this memory knows exactly which
+        lines diverged and :meth:`restore` copies only those.
+        """
+        snap = MemorySnapshot(
+            bytes(self._volatile),
+            bytes(self._persisted),
+            {line: (entry[0], entry[1], tuple(entry[2]))
+             for line, entry in self._lines.items()},
+            {tid: frozenset(bucket)
+             for tid, bucket in self._pending_by_thread.items()},
+            {line: frozenset(tids)
+             for line, tids in self._pending_tids.items()},
             self._seq,
+            origin=self,
         )
+        self._journal = set()
+        self._journal_full = False
+        self._base = snap
+        return snap
 
     def restore(self, snap):
-        """Restore a snapshot previously taken with :meth:`snapshot`."""
-        self._volatile = bytearray(snap.volatile)
-        self._persisted = bytearray(snap.persisted)
-        self._line_states = dict(snap.line_states)
-        self._dirty_words = dict(snap.dirty_words)
-        self._pending_by_thread = {
-            tid: set(lines) for tid, lines in snap.pending_by_thread.items()
-        }
+        """Restore a snapshot previously taken with :meth:`snapshot`.
+
+        When ``snap`` is the snapshot this memory last diverged from (the
+        common checkpoint-per-campaign pattern), only journaled lines are
+        copied back — O(touched lines), not O(pool size).
+        """
+        if snap is self._base and not self._journal_full:
+            volatile = self._volatile
+            persisted = self._persisted
+            snap_vol = snap.volatile
+            snap_per = snap.persisted
+            for line in self._journal:
+                start = line << LINE_SHIFT
+                end = start + CACHE_LINE_SIZE
+                volatile[start:end] = snap_vol[start:end]
+                persisted[start:end] = snap_per[start:end]
+            self._journal.clear()
+        else:
+            self._volatile = bytearray(snap.volatile)
+            self._persisted = bytearray(snap.persisted)
+            self._journal = set()
+            self._journal_full = False
+            self._base = snap if snap.origin is self else None
+        self._lines = {line: [state, mask, list(writers)]
+                       for line, (state, mask, writers) in snap.lines.items()}
+        self._pending_by_thread = {tid: set(bucket)
+                                   for tid, bucket in
+                                   snap.pending_by_thread.items()}
+        self._pending_tids = {line: set(tids)
+                              for line, tids in snap.pending_tids.items()}
         self._seq = snap.seq

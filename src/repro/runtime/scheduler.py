@@ -11,8 +11,12 @@ over ``yield_point(kind="spin")``, so the scheduler can detect hangs the
 way §4.2.2's pitfalls describe: "some threads block" and "all threads
 block" conditions are spin-streak thresholds.
 
-Hand-off is one ``threading.Event`` per simulated thread: the yielding
-thread arms the successor's event and parks on its own. Because at most
+Hand-off is one binary lock per simulated thread used as a one-permit
+semaphore: the yielding thread releases the successor's lock (granting the
+single "go" permit) and parks by acquiring its own. Exactly one permit
+exists at any time — the token of the running thread — so a raw lock
+suffices and each hand-off costs one futex wake plus one futex wait,
+without the Condition machinery of ``threading.Event``. Because at most
 one thread is runnable, state mutations are serialized by construction; a
 small lock protects the pieces the driver thread reads concurrently.
 """
@@ -79,6 +83,9 @@ class Scheduler:
         self.thread_spin_limit = thread_spin_limit or spin_hang_limit * 4
         self.metrics = metrics
         self.threads = []
+        #: Live (not DONE) threads, maintained incrementally so the
+        #: per-yield hot path never rebuilds the list by filtering.
+        self._live_threads = []
         self.steps = 0
         self.spin_steps = 0
         self._lock = threading.Lock()
@@ -97,8 +104,10 @@ class Scheduler:
         if self._started:
             raise RuntimeError("cannot spawn after run() started")
         thread = SimThread(self, len(self.threads), fn, name)
-        thread._go = threading.Event()
+        thread._go = threading.Lock()
+        thread._go.acquire()  # starts with no permit: parked until granted
         self.threads.append(thread)
+        self._live_threads.append(thread)
         return thread
 
     def current(self):
@@ -117,7 +126,7 @@ class Scheduler:
             thread.start()
         first = self._pick(None)
         if first is not None:
-            first._go.set()
+            first._go.release()
         self._done.wait()
         for thread in self.threads:
             thread.join(timeout=5.0)
@@ -141,21 +150,24 @@ class Scheduler:
 
     def _enter_thread(self, thread):
         self._local.sim_thread = thread
-        thread._go.wait()
-        thread._go.clear()
+        thread._go.acquire()
         if self._aborting:
             raise ThreadKilled()
 
     def _exit_thread(self, thread):
         with self._lock:
             thread.state = ThreadState.DONE
-            live = self._live()
-            if not live:
+            self._live_threads.remove(thread)
+            if not self._live_threads:
                 self._done.set()
+                return
+            if self._aborting:
+                # _abort_locked already granted every thread its wake-up
+                # permit; granting again would double-release a raw lock.
                 return
             nxt = self._pick_locked(thread)
         if nxt is not None:
-            nxt._go.set()
+            nxt._go.release()
 
     def yield_point(self, kind="op", reason=None):
         """Surrender the processor; returns when rescheduled.
@@ -174,23 +186,27 @@ class Scheduler:
             self.steps += 1
             thread.steps += 1
             if kind == "spin":
+                # Hang conditions can only *become* true at a spin yield
+                # (op yields reset the yielding thread's streak, and both
+                # threshold crossings happen on the crossing thread's own
+                # spin yield), so op yields check only the step budget.
                 thread.spin_streak += 1
                 self.spin_steps += 1
                 thread.blocked_reason = reason
+                self._check_limits_locked()
             else:
                 thread.spin_streak = 0
                 thread.blocked_reason = None
-            self._check_limits_locked()
+                if self.steps >= self.max_steps:
+                    self._abort_locked("budget")
             if self._aborting:
                 raise ThreadKilled()
             self.policy.on_yield(self, thread, kind)
             nxt = self._pick_locked(thread)
         if nxt is thread or nxt is None:
             return
-        thread._go.clear()
-        nxt._go.set()
-        thread._go.wait()
-        thread._go.clear()
+        nxt._go.release()
+        thread._go.acquire()
         if self._aborting:
             raise ThreadKilled()
 
@@ -198,13 +214,13 @@ class Scheduler:
     # internals
 
     def _live(self):
-        return [t for t in self.threads if t.state is not ThreadState.DONE]
+        return self._live_threads
 
     def _check_limits_locked(self):
         if self.steps >= self.max_steps:
             self._abort_locked("budget")
             return
-        live = self._live()
+        live = self._live_threads
         if not live:
             return
         if all(t.spin_streak >= self.spin_hang_limit for t in live) or \
@@ -218,7 +234,10 @@ class Scheduler:
         self._outcome_status = status
         self._aborting = True
         for thread in self.threads:
-            thread._go.set()
+            try:
+                thread._go.release()
+            except RuntimeError:
+                pass  # already holds a pending permit
         self._done.set()
 
     def _pick(self, prev):
@@ -226,9 +245,19 @@ class Scheduler:
             return self._pick_locked(prev)
 
     def _pick_locked(self, prev):
-        live = self._live()
+        live = self._live_threads
         if not live:
             return None
+        for t in live:
+            if t.sleep_steps:
+                break
+        else:
+            # No sleepers (the common case outside delay injection): the
+            # filtered candidate list would equal ``live``, so hand the
+            # live list straight to the policy. Policies never mutate or
+            # retain it, and contents/order match the filtered copy, so
+            # rng.choice draws stay identical.
+            return self.policy.pick(self, live, prev)
         candidates = [t for t in live if t.sleep_steps == 0]
         if not candidates:
             for t in live:

@@ -127,3 +127,52 @@ class TestAliasCoverage:
         b.on_store(store(64, 3, "w"))
         b.on_load(load(64, 2, "r", dirty=True))
         assert a.pairs == b.pairs
+
+
+def access(kind, addr, size, tid, instr, dirty=False):
+    return PmAccessEvent(kind, addr, size, 0, FakeThread(tid), instr,
+                         nonpersisted=("w",) if dirty else ())
+
+
+class TestAliasCoverageWordGranularity:
+    """§4.2.1 identities alias per touched *word*, not per start byte."""
+
+    def test_offset_store_aliases_covering_load(self):
+        # store at byte 66 and load at byte 64 touch the same word even
+        # though their start addresses differ.
+        collector = AliasCoverageCollector()
+        collector.on_store(access("store", 66, 2, 0, "w"))
+        collector.on_load(access("load", 64, 8, 1, "r", dirty=True))
+        assert ("w", "D", "r", "D") in collector.pairs
+
+    def test_disjoint_bytes_same_word_alias(self):
+        # byte ranges [64,68) and [68,72) are disjoint but share word 8
+        collector = AliasCoverageCollector()
+        collector.on_store(access("store", 64, 4, 0, "w"))
+        collector.on_load(access("load", 68, 4, 1, "r", dirty=True))
+        assert ("w", "D", "r", "D") in collector.pairs
+
+    def test_multiword_store_pairs_with_each_word(self):
+        collector = AliasCoverageCollector()
+        collector.on_store(access("store", 64, 16, 0, "w"))
+        collector.on_load(access("load", 64, 8, 1, "r1", dirty=True))
+        collector.on_load(access("load", 72, 8, 2, "r2", dirty=True))
+        assert ("w", "D", "r1", "D") in collector.pairs
+        assert ("w", "D", "r2", "D") in collector.pairs
+
+    def test_different_words_no_pair(self):
+        collector = AliasCoverageCollector()
+        collector.on_store(access("store", 64, 8, 0, "w"))
+        collector.on_load(access("load", 72, 8, 1, "r", dirty=True))
+        assert not collector.pairs
+
+    def test_zero_size_access_ignored(self):
+        collector = AliasCoverageCollector()
+        collector.on_store(access("store", 64, 8, 0, "w"))
+        collector.on_load(access("load", 64, 0, 1, "zero"))
+        collector.on_load(access("load", 64, 8, 1, "r", dirty=True))
+        # the zero-size access neither records a pair nor clobbers the
+        # per-word last-access identity
+        assert ("w", "D", "r", "D") in collector.pairs
+        assert all("zero" not in (pair[0], pair[2])
+                   for pair in collector.pairs)

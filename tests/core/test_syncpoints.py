@@ -58,13 +58,20 @@ def run_scenario(load_sites, threads, writer_waiting=8, initial_skips=None,
     ctx = InstrumentationContext()
     checker = ctx.add_observer(InconsistencyChecker(pool))
     view = PmView(pool, scheduler, ctx)
-    entry = SharedAccessEntry(64, frozenset(load_sites),
-                              frozenset(store_sites), 1)
+    # Entries in production hold interned ids from the run's table; mirror
+    # that by interning the human-readable site strings up front.
+    sites = ctx.callsites
+    entry = SharedAccessEntry(
+        64, frozenset(sites.intern_name(site) for site in load_sites),
+        frozenset(sites.intern_name(site) for site in store_sites), 1)
+    if initial_skips is not None:
+        initial_skips = {sites.intern_name(site): count
+                         for site, count in initial_skips.items()}
     controller = SyncPointController(
         entry, scheduler, rng=random.Random(0),
         writer_waiting=writer_waiting, initial_skips=initial_skips,
         all_block_threshold=all_block_threshold,
-        some_block_threshold=some_block_threshold)
+        some_block_threshold=some_block_threshold, callsites=sites)
     ctx.controller = controller
     for index, fn in enumerate(threads):
         scheduler.spawn(lambda fn=fn: fn(view, scheduler), "t%d" % index)
@@ -130,7 +137,9 @@ class TestPitfalls:
             some_block_threshold=30, all_block_threshold=10_000)
         assert outcome.ok
         assert not controller.enabled
-        assert controller.updated_skips.get(LOAD_SITE, 0) >= 1
+        skips_by_site = {controller.callsites.name(site): count
+                         for site, count in controller.updated_skips.items()}
+        assert skips_by_site.get(LOAD_SITE, 0) >= 1
 
     def test_initial_skip_consumed(self):
         outcome, controller, checker = run_scenario(

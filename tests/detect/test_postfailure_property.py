@@ -133,3 +133,112 @@ class TestDirectedEdgeCases:
         assert recorder.covers(100, 10)
         assert recorder.covers(100, 50)
         assert not recorder.covers(100, 51)
+
+
+# ----------------------------------------------------------------------
+# Persistency-oracle property tests: the word-mask `is_persisted` in
+# PersistentMemory against a naive per-word dict model of the documented
+# semantics (store dirties words; clwb pends a line; a fence persists
+# the pending lines of its thread; re-dirtying cancels a pending
+# write-back; ntstores write through).
+
+
+class WordPersistencyOracle:
+    """Naive model: explicit sets of dirty words and pending lines."""
+
+    def __init__(self, size):
+        self.size = size
+        self.dirty = set()      # word indices holding non-persisted data
+        self.pending = set()    # line indices in PENDING state
+        self.by_thread = {}     # tid -> set of pended lines
+
+    def _words(self, addr, size):
+        return range(addr >> 3, ((addr + size - 1) >> 3) + 1)
+
+    def _unpend(self, line):
+        self.pending.discard(line)
+        for lines in self.by_thread.values():
+            lines.discard(line)
+
+    def store(self, addr, size, tid, ntstore=False):
+        if size <= 0:
+            return
+        for word in self._words(addr, size):
+            if ntstore:
+                self.dirty.discard(word)
+            else:
+                self.dirty.add(word)
+        for line in range(addr >> 6, ((addr + size - 1) >> 6) + 1):
+            line_words = range(line * 8, line * 8 + 8)
+            if not any(w in self.dirty for w in line_words):
+                self._unpend(line)  # fully clean: no write-back left
+            elif not ntstore and line in self.pending:
+                self._unpend(line)  # re-dirty cancels the write-back
+
+    def clwb(self, addr, tid):
+        line = addr >> 6
+        if any(w in self.dirty for w in range(line * 8, line * 8 + 8)):
+            self.pending.add(line)
+            self.by_thread.setdefault(tid, set()).add(line)
+
+    def sfence(self, tid):
+        for line in self.by_thread.pop(tid, set()):
+            if line in self.pending:
+                self.pending.discard(line)
+                for word in range(line * 8, line * 8 + 8):
+                    self.dirty.discard(word)
+
+    def is_persisted(self, addr, size):
+        if size <= 0:
+            return True
+        return not any(w in self.dirty for w in self._words(addr, size))
+
+
+def run_persistency_workload(rng, ops, mem_size=1024):
+    from repro.pmem import LineState, PersistentMemory
+
+    mem = PersistentMemory(mem_size)
+    oracle = WordPersistencyOracle(mem_size)
+    for _ in range(ops):
+        kind = rng.randrange(5)
+        tid = rng.randrange(3)
+        addr = rng.randrange(mem_size - 16)
+        if kind in (0, 1):
+            size = rng.randrange(1, 17)
+            data = bytes([rng.randrange(256)]) * size
+            mem.store(addr, data, thread_id=tid, ntstore=(kind == 1))
+            oracle.store(addr, size, tid, ntstore=(kind == 1))
+        elif kind == 2:
+            mem.clwb(addr, thread_id=tid)
+            oracle.clwb(addr, tid)
+        elif kind == 3:
+            mem.sfence(thread_id=tid)
+            oracle.sfence(tid)
+        else:
+            size = rng.randrange(0, 33)
+            query = rng.randrange(mem_size - 33)
+            assert mem.is_persisted(query, size) == \
+                oracle.is_persisted(query, size), \
+                "is_persisted(%d, %d) diverged" % (query, size)
+    # settle: every line state and word query must agree at the end
+    for line in range(mem_size // 64):
+        expected = LineState.PENDING if line in oracle.pending else (
+            LineState.DIRTY if any(w in oracle.dirty
+                                   for w in range(line * 8, line * 8 + 8))
+            else LineState.CLEAN)
+        assert mem.line_state(line * 64) is expected
+    for word in range(mem_size // 8):
+        assert mem.is_persisted(word * 8, 8) == \
+            oracle.is_persisted(word * 8, 8)
+
+
+class TestPersistencyMaskProperty:
+    def test_random_workloads_match_oracle(self):
+        rng = random.Random(0xBEEF)
+        for _ in range(30):
+            run_persistency_workload(rng, ops=rng.randrange(20, 120))
+
+    def test_fence_heavy_workloads_match_oracle(self):
+        rng = random.Random(77)
+        for _ in range(10):
+            run_persistency_workload(rng, ops=200, mem_size=256)

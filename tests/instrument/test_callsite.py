@@ -43,3 +43,82 @@ class TestCallSite:
         # this test, not the instrument package.
         frames = stack_trace(skip=1)
         assert not frames[0].startswith("repro.instrument")
+
+
+class TestCallSiteTable:
+    def make(self):
+        from repro.instrument import CallSiteTable
+        return CallSiteTable()
+
+    def table_site(self, table):
+        return table.intern_caller(skip=1)
+
+    def test_intern_returns_small_int(self):
+        table = self.make()
+        site = self.table_site(table)
+        assert isinstance(site, int)
+        assert site == 0
+
+    def test_same_site_same_id(self):
+        table = self.make()
+        ids = {table.intern_name("m:f:1") for _ in range(5)}
+        assert len(ids) == 1
+        assert len(table) == 1
+
+    def test_name_round_trip(self):
+        table = self.make()
+        site = self.table_site(table)
+        name = table.name(site)
+        module, func, line = name.rsplit(":", 2)
+        assert "test_callsite" in module
+        assert func == "table_site"
+        assert int(line) > 0
+
+    def test_intern_caller_matches_call_site_string(self):
+        table = self.make()
+        site_id = table.intern_caller(skip=1)
+        site_str = call_site(skip=1)
+        # both report this test function (line numbers differ: each names
+        # its own calling line)
+        assert table.name(site_id).rsplit(":", 1)[0] == \
+            site_str.rsplit(":", 1)[0]
+
+    def test_id_string_bijection(self):
+        # a frame id and an explicitly interned equal string share an id
+        table = self.make()
+        site_id = self.table_site(table)
+        assert table.intern_name(table.name(site_id)) == site_id
+
+    def test_name_passes_through_strings_and_none(self):
+        table = self.make()
+        assert table.name("already:resolved:1") == "already:resolved:1"
+        assert table.name(None) is None
+        assert table.name(999999) == 999999  # unknown id: untouched
+
+    def test_intern_stack_matches_stack_trace(self):
+        table = self.make()
+
+        def leaf():
+            return table.intern_stack(skip=1), stack_trace(skip=1)
+
+        def mid():
+            return leaf()
+
+        ids, strings = mid()
+        resolved = list(table.names(ids))
+        # same frames in the same order; the two capture sites sit on
+        # different lines of leaf(), so compare from mid() outwards
+        assert resolved[1:] == strings[1:]
+        assert "leaf" in resolved[0]
+
+    def test_distinct_sites_distinct_ids(self):
+        table = self.make()
+        a = table.intern_name("m:f:1")
+        b = table.intern_name("m:f:2")
+        assert a != b
+        assert table.names((a, b)) == ("m:f:1", "m:f:2")
+
+    def test_skips_internal_frames(self):
+        table = self.make()
+        site = table.intern_caller(skip=1)
+        assert not table.name(site).startswith("repro.instrument")

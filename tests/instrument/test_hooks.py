@@ -57,9 +57,11 @@ class TestEvents:
         assert recorder.events[-1].value == 99
 
     def test_instr_id_names_caller(self, setup):
-        _pool, _ctx, recorder, view = setup
+        _pool, ctx, recorder, view = setup
         view.store_u64(0, 1)
-        assert "test_hooks" in recorder.events[-1].instr_id
+        instr_id = recorder.events[-1].instr_id
+        assert isinstance(instr_id, int)
+        assert "test_hooks" in ctx.callsites.name(instr_id)
 
     def test_flush_and_fence_events(self, setup):
         _pool, _ctx, recorder, view = setup

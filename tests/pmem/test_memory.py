@@ -256,3 +256,151 @@ def test_property_persisted_subset_of_writes(ops):
     for addr in written:
         if mem.is_persisted(addr, 8):
             assert image[addr:addr + 8] == mem.load(addr, 8)
+
+
+class TestRedirtySemantics:
+    """CLWB followed by a re-dirtying store cancels the write-back."""
+
+    def test_redirty_cancels_pending_persist(self, mem):
+        mem.store(0, b"a" * 8, thread_id=1)
+        mem.clwb(0, thread_id=1)
+        mem.store(8, b"b" * 8, thread_id=1)     # re-dirty the line
+        mem.sfence(thread_id=1)
+        assert mem.line_state(0) is LineState.DIRTY
+        assert not mem.is_persisted(0, 16)
+        assert mem.load_persisted(0, 16) == b"\x00" * 16
+
+    def test_redirty_by_other_thread_cancels(self, mem):
+        mem.store(0, b"a" * 8, thread_id=1)
+        mem.clwb(0, thread_id=1)
+        mem.store(8, b"b" * 8, thread_id=2)     # another thread re-dirties
+        mem.sfence(thread_id=1)                 # t1's fence must not persist
+        assert mem.line_state(0) is LineState.DIRTY
+        assert not mem.is_persisted(0, 16)
+
+    def test_second_clwb_fence_persists_everything(self, mem):
+        mem.store(0, b"a" * 8, thread_id=1)
+        mem.clwb(0, thread_id=1)
+        mem.store(8, b"b" * 8, thread_id=1)
+        mem.sfence(thread_id=1)                 # cancelled by the re-dirty
+        mem.clwb(0, thread_id=1)
+        mem.sfence(thread_id=1)
+        assert mem.line_state(0) is LineState.CLEAN
+        assert mem.load_persisted(0, 16) == b"a" * 8 + b"b" * 8
+
+    def test_stale_member_does_not_persist_repended_line(self, mem):
+        # t1 pends the line, t2 re-dirties and re-pends it; t1's fence
+        # comes from a stale membership and must not persist t2's data.
+        mem.store(0, b"a" * 8, thread_id=1)
+        mem.clwb(0, thread_id=1)
+        mem.store(8, b"b" * 8, thread_id=2)
+        mem.clwb(0, thread_id=2)
+        mem.sfence(thread_id=1)
+        assert mem.line_state(0) is LineState.PENDING
+        assert not mem.is_persisted(0, 16)
+        mem.sfence(thread_id=2)                 # t2's own fence persists
+        assert mem.line_state(0) is LineState.CLEAN
+
+
+class TestPendingSetCleanup:
+    """Lines leaving PENDING must vanish from both pending indexes."""
+
+    def assert_no_pending(self, mem):
+        assert mem._pending_by_thread == {}
+        assert mem._pending_tids == {}
+
+    def test_clean_after_fence(self, mem):
+        mem.store(0, b"x" * 8, thread_id=1)
+        mem.clwb(0, thread_id=1)
+        mem.sfence(thread_id=1)
+        self.assert_no_pending(mem)
+
+    def test_clean_after_redirty_and_fence(self, mem):
+        mem.store(0, b"x" * 8, thread_id=1)
+        mem.clwb(0, thread_id=1)
+        mem.store(8, b"y" * 8, thread_id=2)     # unpends on re-dirty
+        self.assert_no_pending(mem)
+        mem.sfence(thread_id=1)
+        self.assert_no_pending(mem)
+
+    def test_clean_after_clflush(self, mem):
+        mem.store(0, b"x" * 8, thread_id=1)
+        mem.clwb(0, thread_id=1)
+        mem.clflush(0, thread_id=2)
+        self.assert_no_pending(mem)
+
+    def test_clean_after_ntstore_overwrite(self, mem):
+        mem.store(0, b"x" * 8, thread_id=1)
+        mem.clwb(0, thread_id=1)
+        mem.store(0, b"y" * 64, ntstore=True)   # covers the whole line
+        self.assert_no_pending(mem)
+        assert mem.line_state(0) is LineState.CLEAN
+
+    def test_multi_thread_membership_cleared_once(self, mem):
+        mem.store(0, b"x" * 8, thread_id=1)
+        mem.clwb(0, thread_id=1)
+        mem.clwb(0, thread_id=2)                # both threads pend the line
+        mem.sfence(thread_id=1)                 # first fence persists it
+        self.assert_no_pending(mem)
+        mem.sfence(thread_id=2)                 # stale fence is a no-op
+        assert mem.line_state(0) is LineState.CLEAN
+
+    def test_no_growth_across_campaign_style_loop(self, mem):
+        for round_index in range(50):
+            tid = round_index % 4
+            mem.store(64 * (round_index % 8), b"z" * 8, thread_id=tid)
+            mem.clwb(64 * (round_index % 8), thread_id=tid)
+            mem.sfence(thread_id=tid)
+        self.assert_no_pending(mem)
+
+
+class TestIncrementalRestore:
+    def full_state(self, mem):
+        return (mem.load(0, mem.size), mem.load_persisted(0, mem.size),
+                {line: (entry[0], entry[1]) for line, entry
+                 in mem._lines.items()},
+                mem._pending_by_thread, mem._pending_tids)
+
+    def mutate(self, mem):
+        mem.store(0, b"q" * 16, thread_id=1)
+        mem.store(640, b"r" * 8, thread_id=2)
+        mem.clwb(640, thread_id=2)
+        mem.sfence(thread_id=2)
+        mem.store(1280, b"s" * 64, ntstore=True)
+
+    def test_restore_same_snapshot_twice(self, mem):
+        mem.store(0, b"base", thread_id=1)
+        snap = mem.snapshot()
+        reference = self.full_state(mem)
+        for _ in range(2):
+            self.mutate(mem)
+            mem.restore(snap)
+            assert self.full_state(mem) == reference
+
+    def test_restore_after_persist_all_falls_back_to_full_copy(self, mem):
+        mem.store(0, b"base", thread_id=1)
+        snap = mem.snapshot()
+        reference = self.full_state(mem)
+        self.mutate(mem)
+        mem.persist_all()                       # invalidates the journal
+        mem.restore(snap)
+        assert self.full_state(mem) == reference
+
+    def test_restore_foreign_snapshot(self, mem):
+        other = PersistentMemory(mem.size)
+        other.store(0, b"foreign", ntstore=True)
+        other.store(64, b"dirty", thread_id=3)
+        snap = other.snapshot()
+        self.mutate(mem)
+        mem.restore(snap)
+        assert self.full_state(mem) == self.full_state(other)
+
+    def test_journal_reset_by_snapshot(self, mem):
+        mem.store(0, b"x")
+        snap = mem.snapshot()
+        assert mem._journal == set()
+        assert mem._base is snap
+        self.mutate(mem)
+        assert mem._journal
+        mem.restore(snap)
+        assert mem._journal == set()
