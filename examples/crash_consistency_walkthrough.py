@@ -17,6 +17,7 @@ The same run shows the checker's records and the post-failure verdict.
 from repro import PMRaceConfig, Verdict, make_target
 from repro.core import SharedAccessEntry, run_campaign
 from repro.detect import PostFailureValidator, Whitelist
+from repro.instrument.callsite import CallSiteTable
 from repro.runtime import SeededRandomPolicy
 from repro.targets.fastfair import N_SIBLING
 
@@ -32,13 +33,19 @@ def main():
     splitter = [{"op": "put", "key": 8, "value": 8}]
     chaser = [{"op": "put", "key": 9, "value": 99}]
 
+    # One call-site table shared by every campaign: the profiler keys
+    # sites by interned int id, and the guided passes must see the same
+    # ids the profiling pass recorded. table.name(id) resolves an id
+    # back to its module:function:line string.
+    table = CallSiteTable()
+
     # profiling pass: discover the shared sibling-pointer access sites
     profile = run_campaign(target, state, [filler + splitter, chaser],
-                           SeededRandomPolicy(1))
+                           SeededRandomPolicy(1), callsites=table)
     sibling_groups = [
         (addr, info) for addr, info in profile.profiler.profile.items()
-        if all("_split_leaf" in site for site in info["stores"])
-        and any("_move_right" in site for site in info["loads"])
+        if all("_split_leaf" in table.name(site) for site in info["stores"])
+        and any("_move_right" in table.name(site) for site in info["loads"])
     ]
     print("profiling found %d sibling-pointer access group(s)"
           % len(sibling_groups))
@@ -53,7 +60,7 @@ def main():
         state = target.setup()
         result = run_campaign(target, state, [filler + splitter, chaser],
                               SeededRandomPolicy(seed), entry=entry,
-                              rng=random.Random(seed))
+                              rng=random.Random(seed), callsites=table)
         inter = [r for r in result.checker.inter_inconsistencies
                  if "_split_leaf" in r.write_instr]
         if inter:

@@ -1,0 +1,549 @@
+"""Intra-function control-flow graphs over ``ast`` for pmlint.
+
+The static pass never executes target code: it parses a module with
+:mod:`ast`, folds module-level integer constants (``IT_VALUE = 64``),
+and lowers every function into a small CFG whose nodes carry *PM events*
+— the statically visible :class:`~repro.instrument.hooks.PmView` calls
+(loads, stores, CAS, CLWB, SFENCE, ``flush_range``/``persist``) plus
+mini-PMDK transaction calls.  The rules in :mod:`repro.analysis.rules`
+are path searches over these graphs.
+
+Addresses are normalized to ``(base, offset)`` pairs: ``int(tail) +
+IT_CLSID`` becomes ``("tail", 16)`` once ``IT_CLSID`` resolves through
+the module constants.  Two accesses interact only when their *bases*
+match syntactically — a deliberately conservative aliasing rule: a flush
+of ``item + IT_NBYTES`` never excuses a store to ``other + IT_NBYTES``,
+and unknown offsets/sizes degrade toward *not reporting* (suppression),
+so every finding is backed by a syntactically complete path.
+
+Event ids use the same ``module:function:line`` form as the runtime
+:class:`~repro.instrument.callsite.CallSiteTable` resolves, which is
+what lets findings pre-seed the fuzzer's priority queue (the table
+canonicalizes ids through exactly these strings) and lets suppressions
+reuse the :mod:`repro.detect.whitelist` substring format.
+"""
+
+import ast
+
+#: Cached stores: leave the line DIRTY until CLWB+SFENCE.
+CACHED_STORE_METHODS = ("store_u64", "store_bytes")
+#: Write-through stores: durable immediately (after the fence drains).
+NT_STORE_METHODS = ("ntstore_u64", "ntstore_bytes")
+CAS_METHODS = ("cas_u64",)
+LOAD_METHODS = ("load_u64", "load_bytes")
+FLUSH_METHODS = ("clwb", "flush_range")
+#: ``persist`` = flush_range + sfence in one call.
+PERSIST_METHODS = ("persist",)
+FENCE_METHODS = ("sfence",)
+#: Mini-PMDK transaction methods that require an active transaction.
+TX_METHODS = ("add_range", "tx_alloc", "tx_free")
+
+_SIZE_BY_METHOD = {"store_u64": 8, "ntstore_u64": 8, "cas_u64": 8,
+                   "load_u64": 8, "clwb": 64}
+
+CACHE_LINE = 64
+
+
+# ----------------------------------------------------------------------
+# module-level constant folding
+
+
+class ConstEnv:
+    """Integer constants assigned at module (or class) level."""
+
+    def __init__(self, module_node=None):
+        self.values = {}
+        if module_node is not None:
+            self._collect(module_node.body)
+            for stmt in module_node.body:
+                if isinstance(stmt, ast.ClassDef):
+                    self._collect(stmt.body)
+
+    def _collect(self, body):
+        for stmt in body:
+            if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+                continue
+            target = stmt.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            value = self.eval(stmt.value)
+            if value is not None:
+                self.values[target.id] = value
+
+    def eval(self, node):
+        """Evaluate ``node`` to an int, or None when not provable."""
+        if isinstance(node, ast.Constant):
+            return node.value if isinstance(node.value, int) \
+                and not isinstance(node.value, bool) else None
+        if isinstance(node, ast.Name):
+            return self.values.get(node.id)
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+            operand = self.eval(node.operand)
+            return -operand if operand is not None else None
+        if isinstance(node, ast.BinOp):
+            left, right = self.eval(node.left), self.eval(node.right)
+            if left is None or right is None:
+                return None
+            op = node.op
+            if isinstance(op, ast.Add):
+                return left + right
+            if isinstance(op, ast.Sub):
+                return left - right
+            if isinstance(op, ast.Mult):
+                return left * right
+            if isinstance(op, ast.LShift):
+                return left << right
+            if isinstance(op, ast.RShift):
+                return left >> right
+            if isinstance(op, ast.BitOr):
+                return left | right
+            if isinstance(op, ast.BitAnd):
+                return left & right
+            if isinstance(op, ast.FloorDiv) and right != 0:
+                return left // right
+            if isinstance(op, ast.Mod) and right != 0:
+                return left % right
+        return None
+
+
+# ----------------------------------------------------------------------
+# address normalization
+
+
+class AddrExpr:
+    """A normalized PM address: symbolic base + resolved byte offset.
+
+    Attributes:
+        base: Canonical source text of the non-constant terms ("" when
+            the whole expression folded to a constant).
+        offset: Sum of the constant terms, or None when some term was
+            integral but unresolvable (base alone still comparable).
+        names: Every identifier appearing anywhere in the expression
+            (including folded constant names — PM03 keys on these).
+        text: ``ast.unparse`` of the original expression, for messages.
+    """
+
+    __slots__ = ("base", "offset", "names", "text")
+
+    def __init__(self, base, offset, names, text):
+        self.base = base
+        self.offset = offset
+        self.names = names
+        self.text = text
+
+    def __repr__(self):
+        return "<AddrExpr %s+%s>" % (self.base or "0", self.offset)
+
+
+def _strip_int(node):
+    """``int(x)`` wrappers are identity for address math."""
+    while (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+           and node.func.id == "int" and len(node.args) == 1
+           and not node.keywords):
+        node = node.args[0]
+    return node
+
+
+def _flatten_terms(node, sign=1):
+    """Flatten an Add/Sub chain into (sign, node) terms."""
+    node = _strip_int(node)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+        terms = _flatten_terms(node.left, sign)
+        right_sign = sign if isinstance(node.op, ast.Add) else -sign
+        terms.extend(_flatten_terms(node.right, right_sign))
+        return terms
+    return [(sign, node)]
+
+
+def _collect_names(node):
+    names = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            names.add(sub.id)
+        elif isinstance(sub, ast.Attribute):
+            names.add(sub.attr)
+    return names
+
+
+def normalize_addr(node, consts):
+    """Normalize an address expression into an :class:`AddrExpr`."""
+    try:
+        text = ast.unparse(node)
+    except Exception:                                    # pragma: no cover
+        text = "<expr>"
+    terms = _flatten_terms(node)
+    offset = 0
+    base_parts = []
+    for sign, term in terms:
+        value = consts.eval(term)
+        if value is not None:
+            offset += sign * value
+            continue
+        try:
+            part = ast.unparse(_strip_int(term))
+        except Exception:                                # pragma: no cover
+            part = "<expr>"
+        base_parts.append(("-" if sign < 0 else "") + part)
+    base = "+".join(sorted(base_parts))
+    return AddrExpr(base, offset, frozenset(_collect_names(node)), text)
+
+
+# ----------------------------------------------------------------------
+# events
+
+
+class PmEvent:
+    """One statically visible PM operation.
+
+    Attributes:
+        kind: "store" | "ntstore" | "cas" | "load" | "flush" | "persist"
+            | "fence" | "txcall".
+        addr: :class:`AddrExpr` (None for fences).
+        size: Access/flush size in bytes when provable, else None.
+        line: Source line of the call.
+        instr_id: ``module:function:line`` — the exact string the runtime
+            CallSiteTable would intern for this call site.
+        tx_depth: Number of enclosing ``with Transaction(...)`` scopes.
+        method: The callee attribute name (diagnostics).
+        receiver: Source text of the call receiver ("view", "tx", ...).
+    """
+
+    __slots__ = ("kind", "addr", "size", "line", "instr_id", "tx_depth",
+                 "method", "receiver")
+
+    def __init__(self, kind, addr, size, line, instr_id, tx_depth,
+                 method, receiver):
+        self.kind = kind
+        self.addr = addr
+        self.size = size
+        self.line = line
+        self.instr_id = instr_id
+        self.tx_depth = tx_depth
+        self.method = method
+        self.receiver = receiver
+
+    def __repr__(self):
+        return "<PmEvent %s %s @%s>" % (self.kind, self.method, self.line)
+
+
+def _receiver_text(func_node):
+    try:
+        return ast.unparse(func_node.value)
+    except Exception:                                    # pragma: no cover
+        return "?"
+
+
+def covers(flush, store):
+    """Does ``flush`` (a flush/persist event) cover ``store``'s address?
+
+    Conservative toward *suppression*: same-base accesses with unknown
+    offsets or sizes are treated as covered (no finding); different
+    bases never cover each other.
+    """
+    fa, sa = flush.addr, store.addr
+    if fa is None or sa is None:
+        return False
+    if fa.base != sa.base:
+        return False
+    if fa.offset is None or sa.offset is None:
+        return True
+    if flush.size is None:
+        return sa.offset >= fa.offset if flush.method != "clwb" else True
+    if flush.method == "clwb":
+        # One line, assuming line-aligned bases (how the targets lay out).
+        start = fa.offset - (fa.offset % CACHE_LINE)
+        return start <= sa.offset < start + CACHE_LINE
+    end = fa.offset + flush.size
+    return fa.offset <= sa.offset < end
+
+
+def overlaps(a, b):
+    """Do two addressed events possibly touch common bytes?"""
+    if a.addr is None or b.addr is None:
+        return False
+    if a.addr.base != b.addr.base:
+        return False
+    if a.addr.offset is None or b.addr.offset is None:
+        return True
+    a_size = a.size if a.size is not None else 8
+    b_size = b.size if b.size is not None else 8
+    return a.addr.offset < b.addr.offset + b_size and \
+        b.addr.offset < a.addr.offset + a_size
+
+
+def contains(outer, inner):
+    """Does ``outer``'s byte range provably contain ``inner``'s?"""
+    if outer.addr is None or inner.addr is None:
+        return False
+    if outer.addr.base != inner.addr.base:
+        return False
+    if outer.addr.offset is None or inner.addr.offset is None:
+        return False
+    if outer.size is None or inner.size is None:
+        return False
+    return outer.addr.offset <= inner.addr.offset and \
+        inner.addr.offset + inner.size <= outer.addr.offset + outer.size
+
+
+# ----------------------------------------------------------------------
+# CFG
+
+
+class Block:
+    """A basic block: a run of events plus successor edges."""
+
+    __slots__ = ("events", "succs", "index")
+
+    def __init__(self, index):
+        self.index = index
+        self.events = []
+        self.succs = []
+
+    def link(self, other):
+        if other is not None and other not in self.succs:
+            self.succs.append(other)
+
+
+class FunctionCFG:
+    """The CFG of one function, with dedicated entry/exit/abort blocks.
+
+    ``exit`` collects normal completions (fallthrough and ``return``);
+    ``abort`` collects ``raise`` paths — rules that reason about "the
+    function finished" deliberately ignore abort paths (an exception
+    already abandons the operation, so an unflushed store there is the
+    *caller's* crash-consistency problem, not a lint-worthy ordering).
+    """
+
+    def __init__(self, name, module, lineno):
+        self.name = name
+        self.module = module
+        self.lineno = lineno
+        self.blocks = []
+        self.entry = self.new_block()
+        self.exit = self.new_block()
+        self.abort = self.new_block()
+
+    def new_block(self):
+        block = Block(len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def events(self):
+        """All events in block order (deterministic)."""
+        for block in self.blocks:
+            for event in block.events:
+                yield event
+
+    def predecessors(self):
+        """block -> list of (pred_block, events after which we branch)."""
+        preds = {block: [] for block in self.blocks}
+        for block in self.blocks:
+            for succ in block.succs:
+                preds[succ].append(block)
+        return preds
+
+
+class _FunctionLowering:
+    """Lowers one ``FunctionDef`` body into a :class:`FunctionCFG`."""
+
+    def __init__(self, module, func_node, consts):
+        self.module = module
+        self.consts = consts
+        self.cfg = FunctionCFG(func_node.name, module, func_node.lineno)
+        self.tx_depth = 0
+        self.tx_names = []
+        self._loop_stack = []
+        cursor = self._lower_body(func_node.body, self.cfg.entry)
+        if cursor is not None:
+            cursor.link(self.cfg.exit)
+
+    # ------------------------------------------------------------------
+
+    def _instr_id(self, line):
+        return "%s:%s:%d" % (self.module, self.cfg.name, line)
+
+    def _calls_in(self, node):
+        """Call nodes inside ``node`` in source order (approximates
+        evaluation order well enough for straight-line statements)."""
+        calls = [sub for sub in ast.walk(node) if isinstance(sub, ast.Call)]
+        calls.sort(key=lambda c: (c.lineno, c.col_offset))
+        return calls
+
+    def _emit_events(self, node, block):
+        for call in self._calls_in(node):
+            func = call.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            method = func.attr
+            kind = None
+            addr = None
+            size = None
+            args = call.args
+            if method in CACHED_STORE_METHODS:
+                kind = "store"
+            elif method in NT_STORE_METHODS:
+                kind = "ntstore"
+            elif method in CAS_METHODS:
+                kind = "cas"
+            elif method in LOAD_METHODS:
+                kind = "load"
+            elif method in FLUSH_METHODS:
+                kind = "flush"
+            elif method in PERSIST_METHODS:
+                kind = "persist"
+            elif method in FENCE_METHODS:
+                kind = "fence"
+            elif method in TX_METHODS:
+                kind = "txcall"
+            else:
+                continue
+            if kind in ("store", "ntstore", "cas", "load", "flush",
+                        "persist") and args:
+                addr = normalize_addr(args[0], self.consts)
+            size = _SIZE_BY_METHOD.get(method)
+            if method in ("store_bytes", "ntstore_bytes", "load_bytes",
+                          "flush_range", "persist"):
+                if len(args) >= 2:
+                    size = self.consts.eval(args[1])
+                    if size is None and isinstance(args[1], ast.Call) \
+                            and isinstance(args[1].func, ast.Name) \
+                            and args[1].func.id == "len":
+                        size = None
+            block.events.append(PmEvent(
+                kind, addr, size, call.lineno, self._instr_id(call.lineno),
+                self.tx_depth, method, _receiver_text(func)))
+
+    # ------------------------------------------------------------------
+
+    def _lower_body(self, body, cursor):
+        """Lower a statement list; returns the live fallthrough block
+        (None when every path returned/raised/broke)."""
+        for stmt in body:
+            if cursor is None:
+                break
+            cursor = self._lower_stmt(stmt, cursor)
+        return cursor
+
+    def _lower_stmt(self, stmt, cursor):
+        cfg = self.cfg
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return cursor                 # nested defs lower separately
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._emit_events(stmt.value, cursor)
+            cursor.link(cfg.exit)
+            return None
+        if isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self._emit_events(stmt.exc, cursor)
+            cursor.link(cfg.abort)
+            return None
+        if isinstance(stmt, ast.Break):
+            if self._loop_stack:
+                cursor.link(self._loop_stack[-1][1])
+            return None
+        if isinstance(stmt, ast.Continue):
+            if self._loop_stack:
+                cursor.link(self._loop_stack[-1][0])
+            return None
+        if isinstance(stmt, ast.If):
+            self._emit_events(stmt.test, cursor)
+            after = cfg.new_block()
+            then_block = cfg.new_block()
+            cursor.link(then_block)
+            then_end = self._lower_body(stmt.body, then_block)
+            if then_end is not None:
+                then_end.link(after)
+            if stmt.orelse:
+                else_block = cfg.new_block()
+                cursor.link(else_block)
+                else_end = self._lower_body(stmt.orelse, else_block)
+                if else_end is not None:
+                    else_end.link(after)
+            else:
+                cursor.link(after)
+            return after
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            header = cfg.new_block()
+            after = cfg.new_block()
+            cursor.link(header)
+            if isinstance(stmt, ast.While):
+                self._emit_events(stmt.test, header)
+            else:
+                self._emit_events(stmt.iter, header)
+            body_block = cfg.new_block()
+            header.link(body_block)
+            header.link(after)            # zero iterations
+            self._loop_stack.append((header, after))
+            body_end = self._lower_body(stmt.body, body_block)
+            self._loop_stack.pop()
+            if body_end is not None:
+                body_end.link(header)     # back edge
+            if stmt.orelse:
+                else_end = self._lower_body(stmt.orelse, after)
+                return else_end
+            return after
+        if isinstance(stmt, (ast.Try, getattr(ast, "TryStar", ast.Try))):
+            # Approximation: the body runs in sequence; each handler is an
+            # alternative continuation branching from before the try.
+            after = cfg.new_block()
+            body_block = cfg.new_block()
+            cursor.link(body_block)
+            body_end = self._lower_body(stmt.body, body_block)
+            for handler in stmt.handlers:
+                handler_block = cfg.new_block()
+                cursor.link(handler_block)
+                handler_end = self._lower_body(handler.body, handler_block)
+                if handler_end is not None:
+                    handler_end.link(after)
+            if body_end is not None:
+                if stmt.orelse:
+                    body_end = self._lower_body(stmt.orelse, body_end)
+                if body_end is not None:
+                    body_end.link(after)
+            if stmt.finalbody:
+                return self._lower_body(stmt.finalbody, after)
+            return after
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            tx_items = []
+            for item in stmt.items:
+                self._emit_events(item.context_expr, cursor)
+                if self._is_transaction(item.context_expr):
+                    name = None
+                    if isinstance(item.optional_vars, ast.Name):
+                        name = item.optional_vars.id
+                    tx_items.append(name)
+            self.tx_depth += len(tx_items)
+            self.tx_names.extend(tx_items)
+            cursor = self._lower_body(stmt.body, cursor)
+            self.tx_depth -= len(tx_items)
+            del self.tx_names[len(self.tx_names) - len(tx_items):]
+            return cursor
+        # plain statement: extract events in place
+        self._emit_events(stmt, cursor)
+        return cursor
+
+    @staticmethod
+    def _is_transaction(node):
+        if not isinstance(node, ast.Call):
+            return False
+        func = node.func
+        if isinstance(func, ast.Name):
+            return func.id == "Transaction"
+        if isinstance(func, ast.Attribute):
+            return func.attr == "Transaction"
+        return False
+
+
+def build_cfgs(tree, module_name, consts=None):
+    """Lower every function (methods and nested defs included) of a
+    parsed module into CFGs; returns ``(cfgs, consts)``."""
+    if consts is None:
+        consts = ConstEnv(tree)
+    cfgs = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            cfgs.append(_FunctionLowering(module_name, node, consts).cfg)
+    cfgs.sort(key=lambda cfg: cfg.lineno)
+    return cfgs, consts

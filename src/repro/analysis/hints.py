@@ -1,0 +1,100 @@
+"""Bridge from static findings to the fuzzer's priority queue.
+
+PM01 findings mark stores that can stay non-persisted at function exit —
+exactly the writer half of a PM Inter-thread Inconsistency (§4.1).  This
+module pairs each flagged store with the statically visible loads that
+overlap its address and packages the pair as a :class:`StaticHint`.
+When ``PMRaceConfig.static_hints`` is on, the engine interns the hint's
+``module:function:line`` strings through its run-wide
+:class:`~repro.instrument.callsite.CallSiteTable` — static strings and
+runtime-interned ids unify because both canonicalize through the same
+``module:co_name:lineno`` form — and pre-seeds every campaign's
+:class:`~repro.core.priority.SharedAccessQueue` before any dynamic
+profile exists, so the first scheduled sync points already aim at the
+statically suspicious windows.
+"""
+
+from .cfg import overlaps
+from .pmlint import lint_target, load_builtin_whitelist
+
+#: Frequency used for injected hint groups: far above anything a dynamic
+#: profile can accumulate, so hints are fetched before organic groups.
+HINT_FREQUENCY = 10 ** 9
+
+
+class StaticHint:
+    """One suspected reader/writer pairing from the static pass.
+
+    Attributes:
+        store_sites: ``module:function:line`` strings of the flagged
+            stores (the sync point's signal side).
+        load_sites: Overlapping load sites (the cond_wait side).
+        reason: Human-readable provenance for traces and reports.
+    """
+
+    __slots__ = ("store_sites", "load_sites", "reason")
+
+    def __init__(self, store_sites, load_sites, reason):
+        self.store_sites = tuple(store_sites)
+        self.load_sites = tuple(load_sites)
+        self.reason = reason
+
+    def __repr__(self):
+        return "<StaticHint %s -> %d loads>" % (
+            ",".join(self.store_sites), len(self.load_sites))
+
+
+def hints_from_report(report):
+    """Pair each PM01 store finding with same-module overlapping loads."""
+    hints = []
+    for finding in report.findings + report.suppressed:
+        if finding.rule != "PM01":
+            continue
+        store_event = finding.event
+        load_sites = []
+        for load in report.loads:
+            if load.instr_id.split(":", 1)[0] != finding.module:
+                continue
+            if overlaps(load, store_event):
+                load_sites.append(load.instr_id)
+        if not load_sites:
+            continue
+        hints.append(StaticHint(
+            (finding.instr_id,), sorted(set(load_sites)),
+            "pmlint PM01: %s" % finding.message))
+    return hints
+
+
+_HINT_CACHE = {}
+
+
+def collect_hints_for_target(target):
+    """Run pmlint over ``target``'s module and derive hints (cached per
+    target class — the engine calls this once per run).
+
+    Suppressed findings still produce hints: the builtin whitelist marks
+    *intentional* bugs, which are precisely where fuzzing should look.
+    """
+    cls = type(target)
+    if cls not in _HINT_CACHE:
+        report = lint_target(cls, whitelist=load_builtin_whitelist())
+        _HINT_CACHE[cls] = hints_from_report(report)
+    return _HINT_CACHE[cls]
+
+
+def seed_queue_with_hints(queue, hints, callsites):
+    """Inject hints into a SharedAccessQueue before the dynamic profile.
+
+    The static strings are interned through the run's ``callsites``
+    table so they compare equal (as ints) to ids interned later from
+    live frames at the same sites.
+    """
+    injected = 0
+    for hint in hints:
+        store_ids = frozenset(callsites.intern_name(site)
+                              for site in hint.store_sites)
+        load_ids = frozenset(callsites.intern_name(site)
+                             for site in hint.load_sites)
+        if queue.add_hint(store_ids, load_ids, HINT_FREQUENCY):
+            injected += 1
+    return injected

@@ -11,10 +11,14 @@ Commands:
     validate <target>           fuzz, then post-failure validate separately
     tables                      fuzz everything and print Tables 2/3/5/6
     stats <file.jsonl>          summarize a --trace-out/--metrics-out file
+    lint [files...]             static PM-misuse analysis (pmlint); with
+                                no files, lints the five built-in targets
 
 ``fuzz``, ``fuzz-parallel``, ``validate``, and ``tables`` accept
 ``--trace-out FILE`` (typed JSONL event stream) and ``--metrics-out
 FILE`` (counter/gauge/histogram registry dump); ``stats`` reads either.
+``lint`` exits nonzero when unsuppressed findings remain; see
+``docs/LINT_RULES.md`` for the rules and the suppression format.
 """
 
 import argparse
@@ -50,6 +54,10 @@ def _add_fuzz_options(parser, parallel_flag=True):
                         help="simulate an eADR platform (§6.6)")
     parser.add_argument("--whitelist", metavar="FILE",
                         help="extra whitelist entries (one per line)")
+    parser.add_argument("--static-hints", action="store_true",
+                        dest="static_hints",
+                        help="pre-seed the priority queue with pmlint's "
+                             "static findings (see `repro lint`)")
     if parallel_flag:
         parser.add_argument("--parallel", type=int, metavar="N", default=0,
                             help="fuzz with N worker processes (§5)")
@@ -65,7 +73,8 @@ def _make_config(args):
     whitelist = load_whitelist(args.whitelist) if args.whitelist else None
     return PMRaceConfig(mode=args.mode, n_threads=args.threads,
                         max_campaigns=args.campaigns, max_seeds=20,
-                        whitelist=whitelist, eadr=args.eadr)
+                        whitelist=whitelist, eadr=args.eadr,
+                        static_hints=getattr(args, "static_hints", False))
 
 
 def _make_obs(args):
@@ -210,6 +219,36 @@ def cmd_stats(args):
     return 0
 
 
+def cmd_lint(args):
+    """Static PM-misuse analysis; exit 1 when findings survive."""
+    from .analysis import (lint_builtin_targets, lint_file,
+                           load_builtin_whitelist)
+
+    extra = []
+    if args.whitelist:
+        extra = [entry for entry in load_whitelist(
+            args.whitelist, include_defaults=False).entries]
+    if args.no_builtin_whitelist:
+        whitelist = Whitelist(extra)
+    else:
+        whitelist = load_builtin_whitelist(extra)
+    if args.files:
+        report = None
+        for path in args.files:
+            one = lint_file(path, whitelist=whitelist)
+            if report is None:
+                report = one
+            else:
+                report.extend(one)
+    else:
+        report = lint_builtin_targets(whitelist=whitelist)
+    if args.json:
+        print(report.render_json())
+    else:
+        print(report.render_text())
+    return 1 if report.findings else 0
+
+
 def cmd_tables(args):
     tracer, metrics = _make_obs(args)
     results = {}
@@ -276,6 +315,21 @@ def build_parser():
         "stats", help="summarize a --trace-out/--metrics-out JSONL file")
     stats.add_argument("file", help="trace or metrics JSONL path")
 
+    lint = sub.add_parser(
+        "lint",
+        help="static PM-misuse analysis (pmlint) over target source")
+    lint.add_argument("files", nargs="*",
+                      help="python files to lint (default: the five "
+                           "built-in target modules)")
+    lint.add_argument("--json", action="store_true",
+                      help="emit the report as JSON instead of text")
+    lint.add_argument("--whitelist", metavar="FILE",
+                      help="extra suppression entries (whitelist format)")
+    lint.add_argument("--no-builtin-whitelist", action="store_true",
+                      dest="no_builtin_whitelist",
+                      help="do not apply analysis/builtin.whitelist "
+                           "(shows the intentional Table 2 bugs)")
+
     return parser
 
 
@@ -284,7 +338,8 @@ def main(argv=None):
     handler = {"targets": cmd_targets, "fuzz": cmd_fuzz,
                "fuzz-parallel": cmd_fuzz_parallel,
                "validate": cmd_validate,
-               "tables": cmd_tables, "stats": cmd_stats}[args.command]
+               "tables": cmd_tables, "stats": cmd_stats,
+               "lint": cmd_lint}[args.command]
     return handler(args)
 
 

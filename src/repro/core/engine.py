@@ -55,7 +55,8 @@ class PMRaceConfig:
                  capture_stacks=True, validate=True, probe_hangs=False,
                  writer_waiting=150, max_steps=30_000, spin_hang_limit=400,
                  coverage_feedback="both", base_seed=0, whitelist=None,
-                 eadr=False, profile=True, evict_fraction=0.0):
+                 eadr=False, profile=True, evict_fraction=0.0,
+                 static_hints=False):
         self.mode = mode
         self.n_threads = n_threads
         self.ops_per_thread = ops_per_thread
@@ -89,6 +90,12 @@ class PMRaceConfig:
         #: ``RunResult.profile`` (a few clock reads per campaign); turn
         #: off for a true no-observability baseline.
         self.profile = profile
+        #: Pre-seed each seed's priority queue with pmlint's static
+        #: findings (:mod:`repro.analysis.hints`): statically flagged
+        #: unflushed-store sites and their overlapping loads enter the
+        #: queue at maximal frequency before any dynamic profile exists,
+        #: so the first guided interleavings aim at suspicious windows.
+        self.static_hints = static_hints
 
 
 def fuzz_target(target, config=None, seeds=(7, 13), tracer=None,
@@ -341,6 +348,19 @@ class PMRace:
         seed_index = 0
         use_syncpoints = (cfg.mode == "pmrace"
                           and cfg.enable_interleaving_tier)
+        static_hints = []
+        if cfg.static_hints and use_syncpoints:
+            # Collected once per run (lint is pure AST work, cached per
+            # target class); a lint failure must never kill a fuzzing
+            # run, so any analysis error just disables hints.
+            from ..analysis.hints import (collect_hints_for_target,
+                                          seed_queue_with_hints)
+            try:
+                static_hints = collect_hints_for_target(self.target)
+            except Exception:
+                static_hints = []
+            tracer.emit("static_hints", target=self.target.NAME,
+                        hints=len(static_hints))
         tracer.emit("run_start", target=self.target.NAME, mode=cfg.mode,
                     base_seed=cfg.base_seed, n_threads=cfg.n_threads,
                     max_campaigns=cfg.max_campaigns,
@@ -364,6 +384,12 @@ class PMRace:
                         seed_id=seed.seed_id)
             # Seed tier: reconstruct the priority queue per seed.
             queue = SharedAccessQueue(self.metrics)
+            if static_hints:
+                # Hints survive the per-seed reconstruction: interning
+                # their module:function:line strings through the run's
+                # table yields the same ids live frames get at those
+                # sites, so guided rounds can stall the hinted loads.
+                seed_queue_with_hints(queue, static_hints, callsites)
             seed_skips = skips.setdefault(seed.seed_id, {})
             seed_progress = False
             rounds = cfg.max_interleavings_per_seed if use_syncpoints else 1

@@ -35,6 +35,12 @@ class Whitelist:
         """Append a ``module:function`` (or any substring) rule."""
         self.entries.append(location)
 
+    def matches_location(self, location):
+        """True if one resolved ``module:function:line`` string hits an
+        entry.  Shared by dynamic stack matching and pmlint's static
+        findings, which address code with the same strings."""
+        return any(entry in location for entry in self.entries)
+
     def matches(self, record):
         """True if any stack frame of ``record`` hits a whitelist entry.
 
@@ -47,7 +53,6 @@ class Whitelist:
             stacks.append(candidate.stack or ())
         for stack in stacks:
             for frame in stack:
-                for entry in self.entries:
-                    if entry in frame:
-                        return True
+                if self.matches_location(frame):
+                    return True
         return False

@@ -14,10 +14,19 @@ EMPTY = frozenset()
 class TaintLabel:
     """One taint source: the candidate read that minted the label.
 
+    Labels live on the hot path, so the two sites carry different id
+    forms (see ``instrument/callsite.py``): ``read_instr`` is the raw
+    *interned int* straight off the load event, while ``write_instr``
+    arrives already resolved to its ``module:function:line`` string
+    (the hook layer resolves store sites when attributing
+    ``StoreRecord`` writers). Anything user-facing goes through the
+    candidate record, which holds both sites as resolved strings.
+
     Attributes:
         candidate_id: Index of the inconsistency-candidate record.
-        read_instr: Instruction ID of the non-persisted load.
-        write_instr: Instruction ID of the store that produced the data.
+        read_instr: Interned int id of the non-persisted load.
+        write_instr: Resolved ``module:function:line`` string of the
+            store that produced the data.
         writer_tid / reader_tid: Thread identities (inter vs intra).
     """
 

@@ -25,6 +25,8 @@ its parser is the Table 4 workload: the AFL-style byte mutator feeds it
 ~1/3 invalid commands while the operation mutator always parses.
 """
 
+from zlib import crc32
+
 from ..instrument.taint import taint_of, with_taint
 from ..pmdk.pool import pmem_map_file
 from ..runtime.sync import SimLock
@@ -58,7 +60,10 @@ LOCK_STRIPES = 8
 
 
 def _checksum(data):
-    return sum(data) & 0xFFFFFFFF
+    # CRC32, as in the real port: a byte-sum would let a torn value
+    # (old bytes read back under a newly persisted length) collide with
+    # the new value's checksum and survive recovery.
+    return crc32(bytes(data)) & 0xFFFFFFFF
 
 
 def _key_word(key):

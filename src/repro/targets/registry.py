@@ -22,6 +22,16 @@ def target_names():
     return [cls.NAME for cls in TARGET_CLASSES]
 
 
+def target_class(name):
+    """Look up a target class by its Table 1 name (no instantiation —
+    static tooling like pmlint resolves source files from the class)."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError("unknown target %r; known: %s"
+                       % (name, ", ".join(target_names())))
+
+
 def make_target(name):
     """Instantiate a target by its Table 1 name."""
     try:

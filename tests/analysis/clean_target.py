@@ -1,0 +1,99 @@
+"""A known-clean miniature target: pmlint must report zero findings.
+
+Every cached store is covered by a flush + fence before the function
+returns, the persistent lock is registered through the annotation
+registry, transactional calls stay inside their ``with Transaction``
+scope, and no flush targets a provably clean range. The no-false-
+positives test in ``test_lint_targets.py`` pins this at zero findings
+with *no* whitelist.
+"""
+
+from repro.targets.base import OperationSpace, Target, TargetState
+
+COUNTER = 64
+MIRROR = 128
+CLEAN_LOCK = 256
+
+
+class CleanSpace(OperationSpace):
+    kinds = ("bump", "read")
+    insert_kind = "bump"
+    key_range = 4
+
+    def random_op(self, rng, near_key=None):
+        return {"op": rng.choice(self.kinds), "key": 0}
+
+    def mutate_op(self, op, rng):
+        return {"op": rng.choice(self.kinds), "key": 0}
+
+
+class CleanInstance:
+    def __init__(self, view, scheduler):
+        self.view = view
+        self.scheduler = scheduler
+
+    def _acquire(self):
+        view = self.view
+        ok = False
+        while not ok:
+            ok, _ = view.cas_u64(CLEAN_LOCK, 0, 1)
+            if not ok:
+                self.scheduler.yield_point("spin", "clean_lock")
+        view.clwb(CLEAN_LOCK)
+        view.sfence()
+
+    def _release(self):
+        # Write-through release: no dirty window on the lock word.
+        self.view.ntstore_u64(CLEAN_LOCK, 0)
+        self.view.sfence()
+
+    def bump(self):
+        view = self.view
+        self._acquire()
+        counter = view.load_u64(COUNTER)
+        view.store_u64(COUNTER, counter + 1)
+        view.persist(COUNTER, 8)
+        view.ntstore_u64(MIRROR, counter + 1)
+        view.sfence()
+        self._release()
+
+    def read(self):
+        return int(self.view.load_u64(COUNTER))
+
+
+class CleanTarget(Target):
+    NAME = "clean-toy"
+    POOL_SIZE = 4096
+
+    def operation_space(self):
+        return CleanSpace()
+
+    def setup(self):
+        from repro.pmem import PmemPool
+        pool = PmemPool("clean-toy", self.POOL_SIZE)
+        pool.memory.persist_all()
+        state = TargetState(pool)
+        state.annotations.pm_sync_var_hint("clean_lock", 8, 0)
+        state.annotations.register_instance("clean_lock", CLEAN_LOCK)
+        return state
+
+    def open(self, state, view, scheduler):
+        return CleanInstance(view, scheduler)
+
+    def exec_op(self, instance, view, op):
+        kind = op.get("op")
+        if kind == "bump":
+            instance.bump()
+            return True
+        if kind == "read":
+            instance.read()
+            return True
+        return False
+
+    def recover(self, pool, view):
+        view.ntstore_u64(MIRROR, pool.read_u64(COUNTER))
+        # A correct PM program re-initializes its persistent locks on
+        # recovery (the absence of this is P-CLHT's bug 2).
+        view.ntstore_u64(CLEAN_LOCK, 0)
+        view.sfence()
+        return self

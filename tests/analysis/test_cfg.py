@@ -1,0 +1,226 @@
+"""Unit tests for pmlint's AST lowering: constants, addresses, CFGs."""
+
+import ast
+import textwrap
+
+from repro.analysis.cfg import (ConstEnv, build_cfgs, contains, covers,
+                                normalize_addr, overlaps)
+
+
+def build(code):
+    tree = ast.parse(textwrap.dedent(code))
+    return build_cfgs(tree, "mod")
+
+
+def events_of(code, name=None):
+    cfgs, _ = build(code)
+    if name is not None:
+        cfgs = [c for c in cfgs if c.name == name]
+    return [e for cfg in cfgs for e in cfg.events()]
+
+
+# ----------------------------------------------------------------------
+# module-level constant folding
+
+
+def test_constenv_folds_arithmetic_chains():
+    tree = ast.parse(textwrap.dedent("""
+        BASE = 8
+        DOUBLE = BASE * 2
+        SHIFTED = 1 << 6
+        DIFF = SHIFTED - DOUBLE
+    """))
+    env = ConstEnv(tree)
+    assert env.values == {"BASE": 8, "DOUBLE": 16, "SHIFTED": 64,
+                          "DIFF": 48}
+
+
+def test_constenv_collects_class_level_constants():
+    tree = ast.parse(textwrap.dedent("""
+        class Layout:
+            HDR = 24
+    """))
+    assert ConstEnv(tree).values["HDR"] == 24
+
+
+def test_constenv_ignores_unresolvable_and_bools():
+    tree = ast.parse(textwrap.dedent("""
+        FLAG = True
+        NAME = "x"
+        DYN = foo()
+    """))
+    env = ConstEnv(tree)
+    assert "FLAG" not in env.values
+    assert "NAME" not in env.values
+    assert "DYN" not in env.values
+
+
+# ----------------------------------------------------------------------
+# address normalization
+
+
+def norm(expr, consts_code=""):
+    tree = ast.parse(textwrap.dedent(consts_code)) if consts_code else None
+    env = ConstEnv(tree) if tree is not None else ConstEnv()
+    return normalize_addr(ast.parse(expr, mode="eval").body, env)
+
+
+def test_normalize_folds_constant_terms():
+    addr = norm("item + IT_VALUE", "IT_VALUE = 64")
+    assert addr.base == "item"
+    assert addr.offset == 64
+    assert "IT_VALUE" in addr.names and "item" in addr.names
+
+
+def test_normalize_strips_int_wrappers():
+    plain = norm("tail + 16")
+    wrapped = norm("int(tail) + 16")
+    assert wrapped.base == plain.base == "tail"
+    assert wrapped.offset == 16
+
+
+def test_normalize_sorts_symbolic_terms():
+    assert norm("a + b").base == norm("b + a").base
+
+
+def test_normalize_keeps_calls_symbolic():
+    addr = norm("self._entry(leaf, 0) + 8")
+    assert addr.base == "self._entry(leaf, 0)"
+    assert addr.offset == 8
+
+
+# ----------------------------------------------------------------------
+# coverage predicates
+
+
+def event(code, pick=0):
+    return events_of(code)[pick]
+
+
+def test_covers_respects_ranges():
+    store, flush = events_of("""
+        IT_NBYTES = 40
+        IT_VALUE = 64
+
+        def f(view, item, data):
+            view.store_bytes(item + IT_VALUE, data)
+            view.persist(item + IT_NBYTES, 16)
+    """)
+    assert not covers(flush, store)          # [40,56) misses offset 64
+
+
+def test_covers_same_base_unknown_size_suppresses():
+    store, flush = events_of("""
+        def f(view, item, data, n):
+            view.store_bytes(item + 8, data)
+            view.persist(item, n)
+    """)
+    assert covers(flush, store)
+
+
+def test_overlaps_and_contains():
+    a, b, c = events_of("""
+        def f(view, base):
+            view.store_u64(base + 8, 1)
+            view.store_u64(base + 12, 2)
+            view.store_u64(base + 64, 3)
+    """)
+    assert overlaps(a, b) and not overlaps(a, c)
+    big, small = events_of("""
+        def f(view, base, data):
+            view.ntstore_bytes(base, data)
+            view.store_u64(base + 8, 1)
+    """)
+    assert not contains(big, small)          # len(data) unknown
+
+
+# ----------------------------------------------------------------------
+# event extraction
+
+
+def test_events_carry_matching_instr_ids():
+    events = events_of("""
+        def put(view, addr):
+            view.store_u64(addr, 1)
+    """)
+    assert [e.instr_id for e in events] == ["mod:put:3"]
+    assert events[0].kind == "store"
+    assert events[0].method == "store_u64"
+
+
+def test_methods_use_function_name_not_class_name():
+    # Runtime ids use co_name, which for methods is the bare def name.
+    events = events_of("""
+        class Store:
+            def put(self, view, addr):
+                view.store_u64(addr, 1)
+    """)
+    assert events[0].instr_id == "mod:put:4"
+
+
+def test_kind_classification():
+    kinds = [e.kind for e in events_of("""
+        def ops(view, addr, data, tx):
+            view.load_u64(addr)
+            view.store_u64(addr, 1)
+            view.ntstore_u64(addr, 1)
+            view.cas_u64(addr, 0, 1)
+            view.clwb(addr)
+            view.flush_range(addr, 16)
+            view.persist(addr, 16)
+            view.sfence()
+            tx.add_range(addr, 8)
+    """)]
+    assert kinds == ["load", "store", "ntstore", "cas", "flush", "flush",
+                     "persist", "fence", "txcall"]
+
+
+def test_tx_depth_tracks_with_transaction_scopes():
+    events = events_of("""
+        def update(objpool, view, tid, addr):
+            with Transaction(objpool, view, tid) as tx:
+                tx.add_range(addr, 8)
+            tx.tx_free(addr)
+    """)
+    txcalls = [e for e in events if e.kind == "txcall"]
+    assert [e.tx_depth for e in txcalls] == [1, 0]
+
+
+def test_branches_create_distinct_blocks():
+    cfgs, _ = build("""
+        def put(view, addr, fast):
+            view.store_u64(addr, 1)
+            if fast:
+                view.persist(addr, 8)
+    """)
+    cfg = cfgs[0]
+    # entry/exit/abort + statement blocks; both branch arms reach exit.
+    assert len(cfg.blocks) >= 5
+    preds = cfg.predecessors()
+    assert len(preds[cfg.exit]) >= 1
+
+
+def test_loops_have_back_and_zero_iteration_edges():
+    cfgs, _ = build("""
+        def fill(view, base, count):
+            for index in range(count):
+                view.store_u64(base, index)
+            view.persist(base, 8)
+    """)
+    cfg = cfgs[0]
+    header = next(b for b in cfg.blocks
+                  if any(e.kind == "load" or e.method == "range"
+                         for e in b.events) or len(b.succs) == 2)
+    assert len(header.succs) == 2
+
+
+def test_nested_functions_get_their_own_cfgs():
+    cfgs, _ = build("""
+        def outer(view, addr):
+            def inner():
+                view.store_u64(addr, 1)
+            view.persist(addr, 8)
+    """)
+    assert sorted(cfg.name for cfg in cfgs) == ["inner", "outer"]
+    inner = next(c for c in cfgs if c.name == "inner")
+    assert [e.instr_id for e in inner.events()] == ["mod:inner:4"]

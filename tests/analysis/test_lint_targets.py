@@ -1,0 +1,110 @@
+"""pmlint over real modules: the golden memcached report, the checked-in
+builtin whitelist, and the no-false-positives clean target."""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis import (lint_builtin_targets, lint_file, lint_target,
+                            load_builtin_whitelist)
+from repro.detect.whitelist import Whitelist
+from repro.targets.registry import target_class
+
+HERE = os.path.dirname(__file__)
+
+#: Golden findings for targets/memcached.py with no whitelist. Bugs 9/10
+#: (append/prepend writing a value derived from a non-persisted read,
+#: itself left unflushed) surface as the PM01 at cmd_store; every entry
+#: maps to a Table 2 bug or the documented LRU benign-FP factory.
+MEMCACHED_GOLDEN = [
+    ("PM01", "repro.targets.memcached:_write_value:212"),
+    ("PM01", "repro.targets.memcached:_set_next:231"),
+    ("PM01", "repro.targets.memcached:_set_prev:235"),
+    ("PM01", "repro.targets.memcached:_lru_unlink:244"),
+    ("PM01", "repro.targets.memcached:_lru_unlink:248"),
+    ("PM01", "repro.targets.memcached:_lru_link_head:258"),
+    ("PM01", "repro.targets.memcached:_lru_link_head:259"),
+    ("PM01", "repro.targets.memcached:_evict_tail:308"),
+    ("PM01", "repro.targets.memcached:cmd_get:334"),
+    ("PM01", "repro.targets.memcached:cmd_store:362"),
+    ("PM01", "repro.targets.memcached:cmd_arith:401"),
+]
+
+
+def test_memcached_golden_json_report():
+    report = lint_target(target_class("memcached-pmem"))
+    assert [(f["rule"], f["instr_id"])
+            for f in report.to_dict()["findings"]] == MEMCACHED_GOLDEN
+    # The JSON rendering round-trips and carries the counts.
+    payload = json.loads(report.render_json())
+    assert payload["counts"] == {"PM01": len(MEMCACHED_GOLDEN)}
+    assert payload["suppressed"] == []
+
+
+def test_memcached_detects_bugs_9_10_unflushed_value_write():
+    """Acceptance: the unflushed-value-write pattern behind Table 2 bugs
+    9/10 (memcached.c:4292) is detected, then whitelisted."""
+    unsuppressed = lint_target(target_class("memcached-pmem"))
+    hits = [f for f in unsuppressed.findings
+            if f.instr_id == "repro.targets.memcached:cmd_store:362"]
+    assert len(hits) == 1 and hits[0].rule == "PM01"
+    assert "store_bytes(item + IT_VALUE)" in hits[0].message
+
+    suppressed = lint_target(target_class("memcached-pmem"),
+                             whitelist=load_builtin_whitelist())
+    assert suppressed.findings == []
+    assert any(f.instr_id == "repro.targets.memcached:cmd_store:362"
+               for f in suppressed.suppressed)
+
+
+def test_builtin_targets_zero_unsuppressed_with_checked_in_whitelist():
+    report = lint_builtin_targets()
+    assert report.findings == []
+    assert report.suppressed          # the intentional bugs were seen
+
+
+def test_builtin_targets_do_have_findings_without_whitelist():
+    report = lint_builtin_targets(whitelist=Whitelist([]))
+    assert len(report.findings) >= 20
+    modules = {f.module for f in report.findings}
+    assert modules == {"repro.targets.pclht", "repro.targets.clevel",
+                       "repro.targets.cceh", "repro.targets.fastfair",
+                       "repro.targets.memcached"}
+
+
+def test_clean_target_has_zero_findings():
+    """Acceptance: no false positives on a known-clean toy target."""
+    report = lint_file(os.path.join(HERE, "clean_target.py"),
+                       module_name="tests.analysis.clean_target")
+    assert report.findings == []
+    assert report.suppressed == []
+
+
+def test_clean_target_actually_runs():
+    # Guard against the clean target rotting into dead code: it must
+    # still fuzz cleanly end to end.
+    from repro import PMRace, PMRaceConfig
+    from .clean_target import CleanTarget
+
+    result = PMRace(CleanTarget(),
+                    PMRaceConfig(max_campaigns=4, base_seed=7)).run()
+    assert result.campaigns == 4
+    assert result.bug_reports == []
+
+
+def test_extra_whitelist_entries_compose():
+    extra = load_builtin_whitelist(["snippet:leaky:"])
+    from repro.analysis import lint_source
+    report = lint_source(
+        "def leaky(view, addr):\n    view.store_u64(addr, 1)\n",
+        "snippet", whitelist=extra)
+    assert report.findings == []
+    assert [f.rule for f in report.suppressed] == ["PM01"]
+
+
+@pytest.mark.parametrize("name", ["P-CLHT", "clevel hashing", "CCEH",
+                                  "FAST-FAIR", "memcached-pmem"])
+def test_each_target_lints_without_crashing(name):
+    report = lint_target(target_class(name))
+    assert report.to_dict()["counts"] is not None

@@ -1,0 +1,366 @@
+"""Per-rule pmlint unit tests on synthetic snippets."""
+
+import textwrap
+
+from repro.analysis import lint_source
+
+
+def lint(code, sync_names=()):
+    return lint_source(textwrap.dedent(code), "snippet",
+                       sync_names=sync_names)
+
+
+def rules_of(report):
+    return [(f.rule, f.function, f.line) for f in report.findings]
+
+
+# ----------------------------------------------------------------------
+# PM01 — unflushed store
+
+
+def test_pm01_store_without_flush_is_flagged():
+    report = lint("""
+        def put(view, addr, value):
+            view.store_u64(addr, value)
+    """)
+    assert [f.rule for f in report.findings] == ["PM01"]
+    finding = report.findings[0]
+    assert finding.instr_id == "snippet:put:3"
+    assert finding.function == "put"
+
+
+def test_pm01_flush_fence_clears_the_store():
+    report = lint("""
+        def put(view, addr, value):
+            view.store_u64(addr, value)
+            view.clwb(addr)
+            view.sfence()
+    """)
+    assert report.findings == []
+
+
+def test_pm01_persist_alone_clears_the_store():
+    report = lint("""
+        def put(view, addr, value):
+            view.store_u64(addr, value)
+            view.persist(addr, 8)
+    """)
+    assert report.findings == []
+
+
+def test_pm01_flush_without_fence_stays_pending():
+    report = lint("""
+        def put(view, addr, value):
+            view.store_u64(addr, value)
+            view.clwb(addr)
+    """)
+    assert "PM01" in [f.rule for f in report.findings]
+
+
+def test_pm01_flush_on_one_branch_only_is_flagged():
+    report = lint("""
+        def put(view, addr, value, fast):
+            view.store_u64(addr, value)
+            if fast:
+                view.persist(addr, 8)
+    """)
+    assert [(f.rule, f.line) for f in report.findings] == [("PM01", 3)]
+
+
+def test_pm01_flush_on_both_branches_is_clean():
+    report = lint("""
+        def put(view, addr, value, fast):
+            view.store_u64(addr, value)
+            if fast:
+                view.persist(addr, 8)
+            else:
+                view.clwb(addr)
+                view.sfence()
+    """)
+    assert report.findings == []
+
+
+def test_pm01_persist_of_other_offset_does_not_cover():
+    # The memcached bugs 9/10 shape: value stored at +64, persist
+    # covers [40, 56) only.
+    report = lint("""
+        IT_NBYTES = 40
+        IT_VALUE = 64
+
+        def cmd_store(view, item, data):
+            view.store_bytes(item + IT_VALUE, data)
+            view.store_u64(item + IT_NBYTES, 8)
+            view.persist(item + IT_NBYTES, 16)
+    """)
+    assert [(f.rule, f.line) for f in report.findings] == [("PM01", 6)]
+
+
+def test_pm01_range_persist_covers_folded_offsets():
+    report = lint("""
+        HDR = 8
+
+        def init(view, base):
+            view.store_u64(base + HDR, 1)
+            view.store_u64(base + HDR + 8, 2)
+            view.persist(base, 32)
+    """)
+    assert report.findings == []
+
+
+def test_pm01_ntstore_needs_a_fence_but_not_a_flush():
+    # ntstore is write-through: PM01 watches cached stores only.
+    report = lint("""
+        def put(view, addr, value):
+            view.ntstore_u64(addr, value)
+            view.sfence()
+    """)
+    assert report.findings == []
+
+
+def test_pm01_overwriting_ntstore_clears_the_cached_store():
+    report = lint("""
+        def put(view, addr, value):
+            view.store_u64(addr, value)
+            view.ntstore_u64(addr, value)
+            view.sfence()
+    """)
+    assert report.findings == []
+
+
+def test_pm01_different_base_never_covers():
+    report = lint("""
+        def put(view, a, b, value):
+            view.store_u64(a, value)
+            view.persist(b, 64)
+    """)
+    assert [f.rule for f in report.findings] == ["PM01"]
+
+
+def test_pm01_loop_flush_after_loop_is_clean():
+    report = lint("""
+        def fill(view, base, count):
+            for index in range(count):
+                view.store_u64(base, index)
+            view.persist(base, 8)
+    """)
+    assert report.findings == []
+
+
+def test_pm01_exception_paths_are_not_flagged():
+    # A raise abandons the operation; PM01 only reasons about paths
+    # that complete normally.
+    report = lint("""
+        def put(view, addr, value, ok):
+            view.store_u64(addr, value)
+            if not ok:
+                raise ValueError("abort")
+            view.persist(addr, 8)
+    """)
+    assert report.findings == []
+
+
+# ----------------------------------------------------------------------
+# PM02 — flush never fenced (fence-before-flush ordering)
+
+
+def test_pm02_fence_before_flush_is_flagged():
+    report = lint("""
+        def wrong_order(view, addr, value):
+            view.ntstore_u64(addr, value)
+            view.sfence()
+            view.clwb(addr)
+    """)
+    rules = [f.rule for f in report.findings]
+    assert "PM02" in rules
+    pm02 = [f for f in report.findings if f.rule == "PM02"][0]
+    assert "earlier sfence" in pm02.message
+
+
+def test_pm02_flush_then_fence_is_clean():
+    report = lint("""
+        def right_order(view, addr):
+            view.clwb(addr)
+            view.sfence()
+    """)
+    assert all(f.rule != "PM02" for f in report.findings)
+
+
+def test_pm02_fence_on_one_branch_only_is_flagged():
+    report = lint("""
+        def maybe_fence(view, addr, strict):
+            view.clwb(addr)
+            if strict:
+                view.sfence()
+    """)
+    assert "PM02" in [f.rule for f in report.findings]
+
+
+def test_pm02_persist_does_not_need_a_separate_fence():
+    report = lint("""
+        def put(view, addr, value):
+            view.store_u64(addr, value)
+            view.persist(addr, 8)
+    """)
+    assert all(f.rule != "PM02" for f in report.findings)
+
+
+# ----------------------------------------------------------------------
+# PM03 — unregistered sync variable
+
+
+def test_pm03_unregistered_lock_store_is_flagged():
+    report = lint("""
+        B_LOCK = 16
+
+        def acquire(view, bucket):
+            view.cas_u64(bucket + B_LOCK, 0, 1)
+            view.persist(bucket + B_LOCK, 8)
+    """)
+    assert [f.rule for f in report.findings] == ["PM03"]
+
+
+def test_pm03_registered_in_module_is_clean():
+    report = lint("""
+        B_LOCK = 16
+
+        def setup(state, bucket):
+            state.annotations.pm_sync_var_hint("bucket_lock", 8, 0)
+            state.annotations.register_instance("bucket_lock",
+                                                bucket + B_LOCK)
+
+        def acquire(view, bucket):
+            view.cas_u64(bucket + B_LOCK, 0, 1)
+            view.persist(bucket + B_LOCK, 8)
+    """)
+    assert report.findings == []
+
+
+def test_pm03_live_registry_names_suppress():
+    code = """
+        B_LOCK = 16
+
+        def acquire(view, bucket):
+            view.cas_u64(bucket + B_LOCK, 0, 1)
+            view.persist(bucket + B_LOCK, 8)
+    """
+    assert lint(code).counts() == {"PM03": 1}
+    assert lint(code, sync_names={"B_LOCK"}).findings == []
+
+
+def test_pm03_non_sync_names_are_ignored():
+    report = lint("""
+        def put(view, addr, value):
+            view.store_u64(addr, value)
+            view.persist(addr, 8)
+    """)
+    assert all(f.rule != "PM03" for f in report.findings)
+
+
+def test_declared_names_feeds_pm03():
+    from repro.instrument.annotations import AnnotationRegistry
+
+    registry = AnnotationRegistry()
+    registry.pm_sync_var_hint("global_lock", 8, 0)
+    assert registry.declared_names() == {"global_lock"}
+    report = lint("""
+        def release(view, global_lock):
+            view.store_u64(global_lock, 0)
+            view.persist(global_lock, 8)
+    """, sync_names=registry.declared_names())
+    assert report.findings == []
+
+
+# ----------------------------------------------------------------------
+# PM04 — flush of a provably clean range
+
+
+def test_pm04_double_persist_is_flagged():
+    report = lint("""
+        def put(view, addr, value):
+            view.store_u64(addr, value)
+            view.persist(addr, 8)
+            view.persist(addr, 8)
+    """)
+    assert [(f.rule, f.line) for f in report.findings] == [("PM04", 5)]
+
+
+def test_pm04_store_between_flushes_is_clean():
+    report = lint("""
+        def put(view, addr, value):
+            view.store_u64(addr, value)
+            view.persist(addr, 8)
+            view.store_u64(addr, value + 1)
+            view.persist(addr, 8)
+    """)
+    assert all(f.rule != "PM04" for f in report.findings)
+
+
+def test_pm04_flush_after_ntstore_fence_is_flagged():
+    report = lint("""
+        def put(view, addr, value):
+            view.ntstore_u64(addr, value)
+            view.sfence()
+            view.persist(addr, 8)
+    """)
+    assert "PM04" in [f.rule for f in report.findings]
+
+
+def test_pm04_dirty_on_one_path_is_clean():
+    # The range is dirty when slow is true -> not provably clean.
+    report = lint("""
+        def put(view, addr, value, slow):
+            if slow:
+                view.store_u64(addr, value)
+            view.persist(addr, 8)
+    """)
+    assert all(f.rule != "PM04" for f in report.findings)
+
+
+def test_pm04_unknown_offsets_are_never_flagged():
+    report = lint("""
+        def put(view, addr, size):
+            view.persist(addr, size)
+    """)
+    assert all(f.rule != "PM04" for f in report.findings)
+
+
+# ----------------------------------------------------------------------
+# PM05 — transactional write outside a Transaction scope
+
+
+def test_pm05_add_range_outside_scope_is_flagged():
+    report = lint("""
+        def update(tx, addr):
+            tx.add_range(addr, 24)
+    """)
+    assert [f.rule for f in report.findings] == ["PM05"]
+    assert "Transaction" in report.findings[0].message
+
+
+def test_pm05_inside_with_transaction_is_clean():
+    report = lint("""
+        def update(objpool, view, tid, addr):
+            with Transaction(objpool, view, tid) as tx:
+                tx.add_range(addr, 24)
+                meta = tx.tx_alloc(32)
+    """)
+    assert report.findings == []
+
+
+def test_pm05_scope_ends_with_the_with_block():
+    report = lint("""
+        def update(objpool, view, tid, addr):
+            with Transaction(objpool, view, tid) as tx:
+                tx.add_range(addr, 24)
+            tx.tx_free(addr)
+    """)
+    assert [(f.rule, f.line) for f in report.findings] == [("PM05", 5)]
+
+
+def test_pm05_self_methods_are_not_flagged():
+    # The Transaction class's own method bodies call self.add_range etc.
+    report = lint("""
+        def commit(self, addr):
+            self.add_range(addr, 8)
+    """)
+    assert report.findings == []
