@@ -1,0 +1,205 @@
+"""Deferred-validation benchmark: digest cache on vs off.
+
+Post-failure validation replays recovery on a crash image per record;
+records found by different interleavings routinely carry *identical*
+images, so the :class:`repro.detect.validation_service.ValidationQueue`
+digest cache replays each unique image once and reuses the
+:class:`~repro.detect.postfailure.ReplayResult` for every duplicate.
+This benchmark measures that directly: a workload of ``RECORDS_PER_IMAGE
+* UNIQUE_IMAGES`` records over ``UNIQUE_IMAGES`` distinct P-CLHT crash
+images is validated through the queue with the cache enabled and
+disabled, and the wall-clock ratio is the number the PR is judged by.
+
+Modes:
+
+* default           — best of ``FULL_ROUNDS`` rounds; writes the table
+  plus machine-readable ``validate_cached_records_per_s:`` /
+  ``cache_speedup:`` lines to ``benchmarks/results/bench_validation.txt``.
+* ``--quick``       — ``QUICK_ROUNDS`` rounds (CI's perf-smoke budget).
+* ``--check``       — measure, then compare against the *checked-in*
+  result instead of rewriting it; exits non-zero when cached validation
+  throughput regressed more than ``MAX_REGRESSION`` (20%) or the cache
+  stops clearing the ``MIN_SPEEDUP`` (1.3x) bar.
+
+Runs standalone too: ``python benchmarks/bench_validation.py``.
+"""
+
+import argparse
+import os
+import re
+import sys
+import time
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, _ROOT)
+sys.path.insert(0, os.path.join(_ROOT, "src"))  # works without pip install
+
+from repro.core.results import render_table
+from repro.detect.postfailure import PostFailureValidator
+from repro.detect.records import CandidateRecord, InconsistencyRecord
+from repro.detect.validation_service import ValidationQueue
+from repro.targets import PclhtTarget
+
+from conftest import RESULTS_DIR, emit
+from tests.targets.helpers import open_single
+
+UNIQUE_IMAGES = 4
+RECORDS_PER_IMAGE = 15
+OPS_PER_IMAGE = 40
+FULL_ROUNDS = 5
+QUICK_ROUNDS = 2
+MAX_REGRESSION = 0.20
+#: The PR's acceptance bar: caching must cut validation wall-clock by
+#: at least this factor on a duplicate-heavy workload.
+MIN_SPEEDUP = 1.3
+RESULT_NAME = "bench_validation"
+
+
+def make_images():
+    """Distinct P-CLHT crash images after real single-threaded workloads
+    (recovery replay cost is what the cache amortizes, so the images
+    must exercise the real recovery path)."""
+    images = []
+    for salt in range(UNIQUE_IMAGES):
+        target = PclhtTarget()
+        state, _view, instance = open_single(target)
+        for op in range(OPS_PER_IMAGE):
+            instance.put((op * 7 + salt) % 64, op + salt * 1000)
+        images.append(state.pool.crash_image())
+    return images
+
+
+def make_records(images):
+    """RECORDS_PER_IMAGE inter-style records per image (round-robin, the
+    arrival order a fuzzing run produces)."""
+    records = []
+    for index in range(RECORDS_PER_IMAGE * len(images)):
+        image = images[index % len(images)]
+        candidate = CandidateRecord(index, 64, 8, "read:%d" % index,
+                                    "write:%d" % index, 0, 1, (), index)
+        records.append(InconsistencyRecord(candidate, "effect:%d" % index,
+                                           64, 8, (), (), image))
+    return records
+
+
+def measure(records, cache):
+    """Seconds to drain the full record batch through one queue."""
+    validator = PostFailureValidator(PclhtTarget)
+    queue = ValidationQueue(validator, cache=cache)
+    for record in records:
+        queue.enqueue(record)
+    start = time.perf_counter()
+    queue.drain()
+    return time.perf_counter() - start
+
+
+def run_bench(rounds):
+    """Best-of-``rounds`` for both configurations, interleaved so machine
+    load drift is shared between them."""
+    images = make_images()
+    records = make_records(images)
+    best = {"cached_s": float("inf"), "uncached_s": float("inf")}
+    for _ in range(rounds):
+        best["cached_s"] = min(best["cached_s"], measure(records, True))
+        best["uncached_s"] = min(best["uncached_s"],
+                                 measure(records, False))
+    best["records"] = len(records)
+    return best
+
+
+def result_path():
+    return os.path.join(RESULTS_DIR, RESULT_NAME + ".txt")
+
+
+def load_baseline():
+    """The checked-in cached throughput the CI perf smoke guards."""
+    with open(result_path()) as handle:
+        text = handle.read()
+    found = re.findall(r"^validate_cached_records_per_s:\s*([0-9.]+)\s*$",
+                       text, re.M)
+    if not found:
+        raise RuntimeError("no validate_cached_records_per_s line in %s"
+                           % result_path())
+    return float(found[-1])
+
+
+def render(best, rounds):
+    n = best["records"]
+    rows = [
+        {
+            "configuration": "per-record replay (cache off)",
+            "records_per_s": "%.1f" % (n / best["uncached_s"]),
+            "seconds": "%.3f" % best["uncached_s"],
+        },
+        {
+            "configuration": "digest cache (one replay per unique image)",
+            "records_per_s": "%.1f" % (n / best["cached_s"]),
+            "seconds": "%.3f" % best["cached_s"],
+        },
+    ]
+    table = render_table(
+        rows, ["configuration", "records_per_s", "seconds"],
+        title="Post-failure validation (P-CLHT, %d records over %d "
+              "unique crash images, best of %d rounds)"
+              % (n, UNIQUE_IMAGES, rounds))
+    speedup = best["uncached_s"] / best["cached_s"]
+    machine = ("cache_speedup: %.2fx\n"
+               "validate_cached_records_per_s: %.1f\n"
+               "validate_uncached_records_per_s: %.1f"
+               % (speedup, n / best["cached_s"], n / best["uncached_s"]))
+    return table + "\n\n" + machine
+
+
+def run_and_emit(rounds):
+    best = run_bench(rounds)
+    emit(RESULT_NAME, render(best, rounds))
+    return best
+
+
+def run_check(rounds):
+    """CI perf smoke: fail on >20% cached-throughput regression or on a
+    cache that no longer clears the 1.3x bar."""
+    baseline = load_baseline()
+    best = run_bench(rounds)
+    cached_rate = best["records"] / best["cached_s"]
+    speedup = best["uncached_s"] / best["cached_s"]
+    floor = baseline * (1.0 - MAX_REGRESSION)
+    print("validate_cached_records_per_s: %.1f (checked-in baseline "
+          "%.1f, floor %.1f)" % (cached_rate, baseline, floor))
+    print("cache_speedup: %.2fx (bar %.1fx)" % (speedup, MIN_SPEEDUP))
+    failed = False
+    if cached_rate < floor:
+        print("FAIL: cached validation throughput regressed more than "
+              "%d%%" % int(MAX_REGRESSION * 100))
+        failed = True
+    if speedup < MIN_SPEEDUP:
+        print("FAIL: digest cache speedup below %.1fx" % MIN_SPEEDUP)
+        failed = True
+    if not failed:
+        print("OK")
+    return 1 if failed else 0
+
+
+def test_validation(benchmark):
+    best = benchmark.pedantic(run_bench, args=(QUICK_ROUNDS,),
+                              rounds=1, iterations=1)
+    emit(RESULT_NAME, render(best, QUICK_ROUNDS))
+    # the same bar the CI perf-smoke job enforces
+    assert best["uncached_s"] / best["cached_s"] >= MIN_SPEEDUP
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="run %d rounds instead of %d"
+                             % (QUICK_ROUNDS, FULL_ROUNDS))
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the checked-in result "
+                             "instead of rewriting it; non-zero exit on "
+                             ">%d%% regression or <%.1fx cache speedup"
+                             % (int(MAX_REGRESSION * 100), MIN_SPEEDUP))
+    cli = parser.parse_args()
+    n_rounds = QUICK_ROUNDS if cli.quick else FULL_ROUNDS
+    if cli.check:
+        sys.exit(run_check(n_rounds))
+    run_and_emit(n_rounds)

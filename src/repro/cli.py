@@ -34,7 +34,12 @@ from .core.results import (
     render_table,
 )
 from .detect.postfailure import PostFailureValidator
+from .detect.records import Verdict
 from .detect.reporting import dump_run_result, load_whitelist
+from .detect.validation_service import (
+    ValidationQueue,
+    validate_records_parallel,
+)
 from .detect.whitelist import Whitelist
 from .obs import Metrics, Tracer, render_stats, summarize_path
 from .targets import make_target, table1_rows, target_names
@@ -193,16 +198,34 @@ def cmd_validate(args):
                          seeds=tuple(args.seeds), tracer=tracer,
                          metrics=metrics)
     whitelist = config.whitelist or Whitelist()
-    validator = PostFailureValidator(
-        lambda: make_target(args.target), whitelist,
-        tracer=tracer, metrics=metrics)
     records = list(result.inconsistencies) + list(result.sync_inconsistencies)
-    bugs, validated, whitelisted = validator.validate_all(records)
+    if args.jobs > 1:
+        stats = validate_records_parallel(
+            args.target, records, whitelist=whitelist, jobs=args.jobs,
+            metrics=metrics)
+    else:
+        validator = PostFailureValidator(
+            lambda: make_target(args.target), whitelist,
+            tracer=tracer, metrics=metrics)
+        queue = ValidationQueue(validator, tracer=tracer, metrics=metrics)
+        for record in records:
+            queue.enqueue(record)
+        queue.drain()
+        stats = queue.stats()
     result._regroup()
+    by_verdict = {}
+    for record in records:
+        by_verdict[record.verdict] = by_verdict.get(record.verdict, 0) + 1
     print("post-failure validation: %d records -> %d bugs, "
           "%d validated FPs, %d whitelisted FPs, %d pending"
-          % (len(records), len(bugs), len(validated), len(whitelisted),
-             len(records) - len(bugs) - len(validated) - len(whitelisted)))
+          % (len(records), by_verdict.get(Verdict.BUG, 0),
+             by_verdict.get(Verdict.VALIDATED_FP, 0),
+             by_verdict.get(Verdict.WHITELISTED_FP, 0),
+             by_verdict.get(Verdict.PENDING, 0)))
+    print("replay cache: %d unique images, %d hits, %d misses "
+          "(%d records awaiting an image)"
+          % (stats["unique_images"], stats["cache_hits"],
+             stats["cache_misses"], stats["awaiting_image"]))
     print()
     _print_findings(result, args)
     _close_obs(args, tracer, metrics)
@@ -307,6 +330,10 @@ def build_parser():
              "validation as its own observable pass")
     validate.add_argument("target", help="Table 1 system name")
     _add_fuzz_options(validate, parallel_flag=False)
+    validate.add_argument("--jobs", type=int, metavar="N", default=1,
+                          help="validate with N worker processes, "
+                               "partitioned by crash-image digest "
+                               "(default 1 = in-process)")
 
     tables = sub.add_parser("tables", help="fuzz all targets, print tables")
     _add_fuzz_options(tables)

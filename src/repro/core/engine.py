@@ -22,6 +22,7 @@ import time
 from ..detect.dedup import group_bugs
 from ..detect.postfailure import PostFailureValidator
 from ..detect.records import Verdict
+from ..detect.validation_service import ValidationQueue, fresh_target_factory
 from ..detect.whitelist import Whitelist
 from ..obs.profiling import RunProfiler, merge_profiles
 from ..obs.tracer import NULL_TRACER
@@ -165,9 +166,14 @@ class RunResult:
         #: Per-worker statistics attached by the parallel service
         #: (:mod:`repro.core.parallel`); empty for single-session runs.
         self.worker_stats = []
+        #: PENDING records upgraded during :meth:`merge` by adopting a
+        #: dedup-equal duplicate's verdict (cross-session re-validation).
+        self.verdict_upgrades = 0
         self._candidate_keys = set()
-        self._inconsistency_keys = set()
-        self._sync_keys = set()
+        # Key → record maps (not plain sets): merge and the PENDING
+        # upgrade path both need the surviving record for a dedup key.
+        self._inconsistency_keys = {}
+        self._sync_keys = {}
         self._hang_signatures = set()
 
     # ------------------------------------------------------------------
@@ -206,13 +212,17 @@ class RunResult:
         for record in other.inconsistencies:
             key = record.dedup_key()
             if key not in self._inconsistency_keys:
-                self._inconsistency_keys.add(key)
+                self._inconsistency_keys[key] = record
                 self.inconsistencies.append(record)
+            else:
+                self._upgrade_verdict(self._inconsistency_keys[key], record)
         for record in other.sync_inconsistencies:
             key = record.dedup_key()
             if key not in self._sync_keys:
-                self._sync_keys.add(key)
+                self._sync_keys[key] = record
                 self.sync_inconsistencies.append(record)
+            else:
+                self._upgrade_verdict(self._sync_keys[key], record)
         for hang in other.hangs:
             signature = hang.signature()
             if signature not in self._hang_signatures:
@@ -238,8 +248,27 @@ class RunResult:
         self.op_errors += other.op_errors
         self.annotation_count = max(self.annotation_count,
                                     other.annotation_count)
+        self.verdict_upgrades += other.verdict_upgrades
         self._regroup()
         return self
+
+    def _upgrade_verdict(self, kept, duplicate):
+        """Adopt a dedup-equal duplicate's judgement when the kept record
+        never got one: a session whose first occurrence carried no crash
+        image stamps PENDING, and another session's duplicate — validated
+        with an image — settles the verdict."""
+        if kept.verdict is Verdict.PENDING:
+            if duplicate.verdict is not Verdict.PENDING:
+                kept.verdict = duplicate.verdict
+                kept.note = duplicate.note
+                if kept.crash_image is None:
+                    kept.crash_image = duplicate.crash_image
+                self.verdict_upgrades += 1
+            elif kept.crash_image is None and \
+                    duplicate.crash_image is not None:
+                # Neither side was judged, but the duplicate carries an
+                # image a later validation pass can replay.
+                kept.crash_image = duplicate.crash_image
 
     def _regroup(self):
         bug_records = [r for r in self.inconsistencies
@@ -273,6 +302,7 @@ class RunResult:
             "bugs": len(self.bug_reports),
             "hangs": len(self.hangs),
             "annotations": self.annotation_count,
+            "verdict_upgrades": self.verdict_upgrades,
         }
 
 
@@ -294,10 +324,17 @@ class PMRace:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics
         self.whitelist = self.config.whitelist or Whitelist()
+        # Replay recovery on a *fresh* target instance, never the live
+        # fuzzing one: a target whose recover() keeps instance state
+        # would otherwise contaminate both the ongoing run and every
+        # later replay.
         self.validator = PostFailureValidator(
-            lambda: self.target, self.whitelist,
+            fresh_target_factory(target), self.whitelist,
             probe_hangs=self.config.probe_hangs,
             tracer=self.tracer, metrics=self.metrics)
+        self.validation = ValidationQueue(self.validator,
+                                          tracer=self.tracer,
+                                          metrics=self.metrics)
 
     # ------------------------------------------------------------------
 
@@ -481,6 +518,10 @@ class PMRace:
                         # burning its remaining execution budget; the next
                         # queue entry becomes the new sync points.
                         break
+            # Deferred validation: replay the seed's new crash images
+            # now, off the campaign hot path (cache makes the work
+            # proportional to unique images, not records).
+            self._drain_validation(profiler)
             if not cfg.enable_seed_tier:
                 # Seed-tier ablation: loop on the first seed only.
                 seed_index = 0
@@ -488,6 +529,7 @@ class PMRace:
                     break
             elif not seed_progress and seed_index >= len(corpus):
                 corpus.pop()
+        self._drain_validation(profiler)
         result.duration = time.monotonic() - start
         if profiler is not None:
             result.profile = profiler.to_dict(result.duration,
@@ -499,6 +541,16 @@ class PMRace:
         return result
 
     # ------------------------------------------------------------------
+
+    def _drain_validation(self, profiler=None):
+        """Validate every record queued since the last drain."""
+        if not self.config.validate or not self.validation:
+            return
+        if profiler is None:
+            self.validation.drain()
+        else:
+            with profiler.phase("validate"):
+                self.validation.drain()
 
     def _harvest(self, result, campaign, seed, elapsed):
         checker = campaign.checker
@@ -526,8 +578,12 @@ class PMRace:
                 inter_found += 1
             key = record.dedup_key()
             if key in result._inconsistency_keys:
+                # Dedup-equal duplicate: its crash image may settle a
+                # kept record that arrived imageless (PENDING forever
+                # before this hook existed).
+                self.validation.offer_image(key, record.crash_image)
                 continue
-            result._inconsistency_keys.add(key)
+            result._inconsistency_keys[key] = record
             result.inconsistencies.append(record)
             if metrics is not None:
                 metrics.counter("detect.inconsistencies.%s"
@@ -538,7 +594,9 @@ class PMRace:
                             write_code=record.write_instr,
                             side_effect_addr=record.side_effect_addr)
             if self.config.validate:
-                self.validator.validate(record)
+                self.validation.enqueue(record)
+            else:
+                self.validation.register(record)
             if record.kind == "inter" and result.first_inter_time is None:
                 result.first_inter_time = elapsed
         if inter_found:
@@ -546,8 +604,9 @@ class PMRace:
         for record in checker.sync_inconsistencies:
             key = record.dedup_key()
             if key in result._sync_keys:
+                self.validation.offer_image(key, record.crash_image)
                 continue
-            result._sync_keys.add(key)
+            result._sync_keys[key] = record
             result.sync_inconsistencies.append(record)
             if metrics is not None:
                 metrics.counter("detect.inconsistencies.sync").inc()
@@ -556,7 +615,9 @@ class PMRace:
                             annotation=record.annotation_name,
                             addr=record.addr)
             if self.config.validate:
-                self.validator.validate(record)
+                self.validation.enqueue(record)
+            else:
+                self.validation.register(record)
         if campaign.outcome.status == "hang":
             hang = HangRecord(campaign.outcome.blocked, seed.seed_id)
             signature = hang.signature()

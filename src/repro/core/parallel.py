@@ -216,8 +216,13 @@ class ParallelFuzzService:
         if status == "ok":
             stats.record(value)
             merge_start = time.monotonic()
+            upgrades_before = self.merged.verdict_upgrades
             self.merged.merge(value)
             merge_seconds = time.monotonic() - merge_start
+            upgraded = self.merged.verdict_upgrades - upgrades_before
+            if upgraded and self.metrics is not None:
+                self.metrics.counter("parallel.verdict_upgrades").inc(
+                    upgraded)
         else:
             stats.fail(value, "timeout" if status == "timeout"
                        else "failed")

@@ -17,7 +17,13 @@ from .reporting import (
     save_whitelist,
 )
 from .dedup import group_bugs, unique_key
-from .postfailure import PostFailureValidator, WriteRecorder
+from .postfailure import PostFailureValidator, ReplayResult, WriteRecorder
+from .validation_service import (
+    ValidationQueue,
+    fresh_target_factory,
+    image_digest,
+    validate_records_parallel,
+)
 from .records import (
     BugReport,
     CandidateRecord,
@@ -51,7 +57,12 @@ __all__ = [
     "PM_DIRTY",
     "PM_PENDING",
     "PostFailureValidator",
+    "ReplayResult",
+    "ValidationQueue",
     "WriteRecorder",
+    "fresh_target_factory",
+    "image_digest",
+    "validate_records_parallel",
     "Whitelist",
     "DEFAULT_WHITELIST",
     "Verdict",

@@ -13,9 +13,20 @@ crash point. Validation restarts the target on the duplicate and decides:
 
 A whitelist pass (redo-log / checksum protected reads) runs after
 validation to catch the false positives validation structurally cannot see.
+
+The replay itself is factored out of the verdict logic
+(:meth:`PostFailureValidator.replay` → :class:`ReplayResult`), so the
+deferred validation service (:mod:`repro.detect.validation_service`) can
+replay each *unique* crash image once and feed the same
+:class:`ReplayResult` to every record carrying that image. Replays are
+fault-contained: each runs under a step/time budget and is retried once
+on an exception before the failure is recorded — with the exception text
+preserved in ``record.note`` — instead of letting a crashing or runaway
+recovery take down the fuzzing loop.
 """
 
 import bisect
+import time
 
 from ..instrument.context import InstrumentationContext
 from ..instrument.events import Observer
@@ -26,6 +37,12 @@ from ..runtime.policies import RoundRobinPolicy
 from ..runtime.scheduler import Scheduler
 from .records import Verdict
 from .whitelist import Whitelist
+
+#: Default per-replay budgets: generous enough that any real recovery
+#: routine in this repo finishes orders of magnitude below them, tight
+#: enough that a looping recovery cannot stall a whole fuzzing run.
+REPLAY_MAX_STEPS = 500_000
+REPLAY_MAX_SECONDS = 10.0
 
 
 class WriteRecorder(Observer):
@@ -74,13 +91,90 @@ class WriteRecorder(Observer):
         return index >= 0 and self.intervals[index][1] >= addr + size
 
 
+class ReplayBudgetExceeded(Exception):
+    """A recovery replay overran its step or wall-clock budget."""
+
+
+class _ReplayBudget(Observer):
+    """Aborts a runaway recovery replay after a step/time budget.
+
+    Every observed access counts one step; the wall clock is consulted
+    only every 256 steps so a well-behaved recovery pays dict-free
+    integer work per access.
+    """
+
+    __slots__ = ("max_steps", "max_seconds", "steps", "_t0")
+
+    def __init__(self, max_steps, max_seconds):
+        self.max_steps = max_steps
+        self.max_seconds = max_seconds
+        self.steps = 0
+        self._t0 = time.monotonic()
+
+    def _tick(self, _event):
+        self.steps += 1
+        if self.steps > self.max_steps:
+            raise ReplayBudgetExceeded(
+                "recovery exceeded %d replay steps" % self.max_steps)
+        if self.steps % 256 == 0 and \
+                time.monotonic() - self._t0 > self.max_seconds:
+            raise ReplayBudgetExceeded(
+                "recovery exceeded %.1fs replay budget" % self.max_seconds)
+
+    on_load = on_store = on_flush = on_fence = _tick
+
+
+class ReplayResult:
+    """Everything one recovery replay produced, reusable across records.
+
+    A successful replay carries the recovered ``pool`` (for sync-variable
+    reads), the ``target`` instance recovery ran on, and the
+    ``recorder`` whose coalesced write intervals answer side-effect
+    coverage queries. A failed replay carries ``error`` (formatted
+    exception) instead; ``budget_exceeded`` distinguishes a replay the
+    budget aborted from one that genuinely crashed.
+
+    ``shared`` is True when the result came from the digest cache and is
+    (or may be) consulted by several records: consumers must not mutate
+    the pool — the validator replays privately before running the
+    pool-mutating post-recovery probe.
+    """
+
+    __slots__ = ("pool", "target", "recorder", "error", "budget_exceeded",
+                 "shared", "retried")
+
+    def __init__(self, pool=None, target=None, recorder=None, error=None,
+                 budget_exceeded=False, retried=False):
+        self.pool = pool
+        self.target = target
+        self.recorder = recorder
+        self.error = error
+        self.budget_exceeded = budget_exceeded
+        self.shared = False
+        self.retried = retried
+
+    @property
+    def ok(self):
+        return self.error is None
+
+    def __repr__(self):
+        if self.error is not None:
+            return "<ReplayResult failed: %s>" % (self.error,)
+        return "<ReplayResult intervals=%d>" % len(self.recorder.intervals)
+
+
 class PostFailureValidator:
     """Replays recovery on crash images and assigns verdicts.
 
     Args:
-        target_factory: Zero-argument callable returning a fresh target
-            object exposing ``recover(pool, view)`` (see
-            :class:`repro.targets.base.Target`).
+        target_factory: Zero-argument callable returning a **fresh**
+            target object exposing ``recover(pool, view)`` (see
+            :class:`repro.targets.base.Target`). Recovery must never run
+            on the live fuzzing target: a recovery routine that mutates
+            instance state would leak each replay into the next one and
+            into the fuzzing run itself. The engine derives this factory
+            from the target registry (:func:`repro.detect.
+            validation_service.fresh_target_factory`).
         whitelist: Optional :class:`~repro.detect.whitelist.Whitelist`.
         probe_hangs: Also run the target's post-recovery probe operation
             under a bounded scheduler to demonstrate hangs on sync bugs.
@@ -88,32 +182,78 @@ class PostFailureValidator:
             is emitted as a typed ``verdict`` event.
         metrics: Optional :class:`~repro.obs.metrics.Metrics`; verdicts
             count into ``validate.verdict.<verdict>``.
+        replay_max_steps / replay_max_seconds: Per-replay fault budget
+            (see :class:`_ReplayBudget`).
     """
 
     def __init__(self, target_factory, whitelist=None, probe_hangs=False,
-                 tracer=None, metrics=None):
+                 tracer=None, metrics=None,
+                 replay_max_steps=REPLAY_MAX_STEPS,
+                 replay_max_seconds=REPLAY_MAX_SECONDS):
         self.target_factory = target_factory
         self.whitelist = whitelist or Whitelist()
         self.probe_hangs = probe_hangs
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics
+        self.replay_max_steps = replay_max_steps
+        self.replay_max_seconds = replay_max_seconds
 
     # ------------------------------------------------------------------
+    # replay (fault-contained; no verdict logic)
 
-    def _recover(self, record):
-        """Run recovery on the record's crash image; returns the recorder."""
-        pool = PmemPool.from_image("post-failure", record.crash_image)
+    def _recover(self, image):
+        """Run recovery once on ``image``; returns a ReplayResult (ok)."""
+        pool = PmemPool.from_image("post-failure", image)
         recorder = WriteRecorder()
+        budget = _ReplayBudget(self.replay_max_steps,
+                               self.replay_max_seconds)
         ctx = InstrumentationContext(capture_stacks=False)
         ctx.add_observer(recorder)
+        ctx.add_observer(budget)
         view = PmView(pool, None, ctx)
         target = self.target_factory()
         target.recover(pool, view)
-        return pool, view, target, recorder
+        return ReplayResult(pool, target, recorder)
 
-    def validate(self, record):
-        """Assign and return the verdict for one inconsistency record."""
-        verdict = self._assign(record)
+    def replay(self, image):
+        """Replay recovery on one crash image, contained and retried.
+
+        Never raises: an exception inside recovery (or a budget abort)
+        yields a ``ReplayResult`` whose ``error`` holds the formatted
+        exception. Genuine crashes are retried once — recovery is
+        deterministic in this simulation, but the retry keeps the
+        contract honest for targets with environmental failure modes —
+        while budget aborts are not (re-running a runaway replay would
+        deterministically burn the budget twice).
+        """
+        try:
+            return self._recover(image)
+        except ReplayBudgetExceeded as exc:
+            return ReplayResult(error="%r" % (exc,), budget_exceeded=True)
+        except Exception as exc:
+            first = exc
+        try:
+            result = self._recover(image)
+            result.retried = True
+            return result
+        except ReplayBudgetExceeded as exc:
+            return ReplayResult(error="%r" % (exc,), budget_exceeded=True,
+                                retried=True)
+        except Exception:
+            return ReplayResult(error="%r (persisted across one retry)"
+                                % (first,), retried=True)
+
+    # ------------------------------------------------------------------
+    # verdicts
+
+    def validate(self, record, replay=None):
+        """Assign and return the verdict for one inconsistency record.
+
+        ``replay`` optionally supplies an already-computed
+        :class:`ReplayResult` for ``record.crash_image`` (the digest
+        cache's reuse hook); without it the image is replayed here.
+        """
+        verdict = self._assign(record, replay)
         if self.metrics is not None:
             self.metrics.counter("validate.records").inc()
             self.metrics.counter("validate.verdict.%s" % verdict.value).inc()
@@ -122,20 +262,27 @@ class PostFailureValidator:
                              verdict=verdict.value, note=record.note)
         return verdict
 
-    def _assign(self, record):
+    def _assign(self, record, replay=None):
         if record.crash_image is None:
             record.verdict = Verdict.PENDING
             record.note = "no crash image captured"
             return record.verdict
-        try:
-            pool, view, target, recorder = self._recover(record)
-        except Exception as exc:  # recovery itself crashed on the image
-            record.verdict = Verdict.BUG
-            record.note = "recovery failed: %r" % (exc,)
+        if replay is None:
+            replay = self.replay(record.crash_image)
+        if replay.error is not None:
+            if replay.budget_exceeded:
+                # No replay finished: there is no recovered state to
+                # judge, so the verdict stays PENDING with the budget
+                # context in the note instead of guessing.
+                record.verdict = Verdict.PENDING
+                record.note = "replay budget exhausted: %s" % replay.error
+            else:
+                record.verdict = Verdict.BUG
+                record.note = "recovery failed: %s" % replay.error
             return record.verdict
         if record.kind in ("inter", "intra"):
-            if recorder.covers(record.side_effect_addr,
-                               record.side_effect_size):
+            if replay.recorder.covers(record.side_effect_addr,
+                                      record.side_effect_size):
                 record.verdict = Verdict.VALIDATED_FP
                 record.note = "side effect overwritten during recovery"
             elif self.whitelist.matches(record):
@@ -144,6 +291,7 @@ class PostFailureValidator:
             else:
                 record.verdict = Verdict.BUG
         elif record.kind == "sync":
+            pool = replay.pool
             recovered = pool.read_u64(record.addr) if record.size == 8 \
                 else int.from_bytes(pool.read_bytes(record.addr, record.size),
                                     "little")
@@ -155,10 +303,25 @@ class PostFailureValidator:
                 record.note = "sync variable stuck at %d (expected %d)" % (
                     recovered, record.init_val)
                 if self.probe_hangs:
-                    record.note += self._probe(record, pool, target)
+                    record.note += self._probe_on(record, replay)
         else:
             raise ValueError("unknown record kind %r" % record.kind)
         return record.verdict
+
+    def _probe_on(self, record, replay):
+        """Probe on a private replay when the given one is cache-shared.
+
+        The probe executes a real operation against the recovered pool —
+        it mutates it — so a cached replay consulted by other records
+        must not be probed directly. Recovery is deterministic, so a
+        private re-replay reaches the identical recovered state.
+        """
+        if replay.shared:
+            private = self.replay(record.crash_image)
+            if private.error is not None:
+                return "; post-recovery probe skipped (%s)" % private.error
+            replay = private
+        return self._probe(record, replay.pool, replay.target)
 
     def _probe(self, record, pool, target):
         """Demonstrate the hang by running one probe op post-recovery."""
@@ -171,8 +334,14 @@ class PostFailureValidator:
         view = PmView(pool, scheduler, ctx)
         scheduler.spawn(lambda: probe(pool, view), "probe")
         outcome = scheduler.run()
-        if outcome.status in ("hang", "budget"):
+        if outcome.status == "hang":
             return "; post-recovery probe hangs"
+        if outcome.status == "budget":
+            # Exhausting the step budget only proves the probe is slow
+            # under this scheduler bound, not that it blocks forever —
+            # reporting it as a hang would overstate the sync-bug note.
+            return "; post-recovery probe exceeded its step budget " \
+                   "(inconclusive)"
         return "; post-recovery probe completed"
 
     def validate_all(self, records):

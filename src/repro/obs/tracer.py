@@ -34,6 +34,8 @@ EVENT_TYPES = frozenset({
     "candidate",         # new unique inconsistency candidate
     "inconsistency",     # new unique confirmed inconsistency
     "verdict",           # post-failure validation verdict
+    "validate_drain",    # deferred validation queue drained (cache stats)
+    "validate_upgrade",  # a PENDING record received a duplicate's image
     "worker",            # parallel service absorbed one worker attempt
     "span_begin",        # explicit span (paired with span_end)
     "span_end",
