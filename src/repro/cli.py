@@ -9,6 +9,8 @@ Commands:
     fuzz <target>               fuzz one target and print its bugs
     fuzz-parallel <target>      fuzz one target with a worker pool (§5)
     validate <target>           fuzz, then post-failure validate separately
+    replay <bundle.json>        re-execute a repro bundle, assert identity
+    shrink <bundle.json>        ddmin-minimize a repro bundle
     tables                      fuzz everything and print Tables 2/3/5/6
     stats <file.jsonl>          summarize a --trace-out/--metrics-out file
     lint [files...]             static PM-misuse analysis (pmlint); with
@@ -19,6 +21,11 @@ Commands:
 FILE`` (counter/gauge/histogram registry dump); ``stats`` reads either.
 ``lint`` exits nonzero when unsuppressed findings remain; see
 ``docs/LINT_RULES.md`` for the rules and the suppression format.
+
+``--repro-dir DIR`` on the fuzzing commands captures one deterministic
+repro bundle per kept record (see ``docs/REPRODUCERS.md``); ``replay``
+exits nonzero on any divergence or identity mismatch, ``shrink`` writes
+the minimized bundle next to the input as ``<name>.min.json``.
 """
 
 import argparse
@@ -66,6 +73,9 @@ def _add_fuzz_options(parser, parallel_flag=True):
     if parallel_flag:
         parser.add_argument("--parallel", type=int, metavar="N", default=0,
                             help="fuzz with N worker processes (§5)")
+    parser.add_argument("--repro-dir", metavar="DIR", dest="repro_dir",
+                        help="capture a deterministic repro bundle per "
+                             "kept record and write them here")
     parser.add_argument("--output", metavar="FILE",
                         help="write the full JSON report here")
     parser.add_argument("--trace-out", metavar="FILE", dest="trace_out",
@@ -79,7 +89,9 @@ def _make_config(args):
     return PMRaceConfig(mode=args.mode, n_threads=args.threads,
                         max_campaigns=args.campaigns, max_seeds=20,
                         whitelist=whitelist, eadr=args.eadr,
-                        static_hints=getattr(args, "static_hints", False))
+                        static_hints=getattr(args, "static_hints", False),
+                        capture_repro=bool(getattr(args, "repro_dir",
+                                                   None)))
 
 
 def _make_obs(args):
@@ -116,6 +128,19 @@ def cmd_targets(_args):
     return 0
 
 
+def _save_repro(result, args):
+    """Persist captured repro bundles when ``--repro-dir`` was given."""
+    repro_dir = getattr(args, "repro_dir", None)
+    if not repro_dir:
+        return
+    from .core.results import count_repro_bundles
+    from .replay import save_bundles
+    paths = save_bundles(result, repro_dir)
+    print("%d repro bundle(s) (%d records captured) written to %s"
+          % (len(paths), count_repro_bundles(result), repro_dir),
+          file=sys.stderr)
+
+
 def _print_findings(result, args):
     summary = result.summary()
     print("%(target)s: %(campaigns)d campaigns" % summary)
@@ -132,6 +157,7 @@ def _print_findings(result, args):
     if args.output:
         path = dump_run_result(result, args.output)
         print("\nJSON report written to %s" % path)
+    _save_repro(result, args)
 
 
 def _check_target(name):
@@ -232,6 +258,68 @@ def cmd_validate(args):
     return 0
 
 
+def _load_bundle(path):
+    from .replay import BundleError, ReproBundle
+    try:
+        return ReproBundle.load(path)
+    except OSError as exc:
+        print("cannot read bundle %s: %s" % (path, exc), file=sys.stderr)
+    except BundleError as exc:
+        print("invalid bundle %s: %s" % (path, exc), file=sys.stderr)
+    return None
+
+
+def cmd_replay(args):
+    """Re-execute a repro bundle; nonzero exit on any mismatch."""
+    from .detect.validation_service import make_validation_queue
+    from .replay import replay_bundle
+    bundle = _load_bundle(args.bundle)
+    if bundle is None:
+        return 2
+    tracer, metrics = _make_obs(args)
+    validation = None
+    if args.validate:
+        validation = make_validation_queue(bundle.target, tracer=tracer,
+                                           metrics=metrics)
+    outcome = replay_bundle(bundle, validation=validation, tracer=tracer,
+                            metrics=metrics)
+    for line in outcome.describe():
+        print(line)
+    _close_obs(args, tracer, metrics)
+    return 0 if outcome.ok else 1
+
+
+def cmd_shrink(args):
+    """ddmin-minimize a repro bundle; writes ``<name>.min.json``."""
+    from .replay import shrink_bundle
+    bundle = _load_bundle(args.bundle)
+    if bundle is None:
+        return 2
+    tracer, metrics = _make_obs(args)
+    result = shrink_bundle(bundle, budget=args.budget, tracer=tracer,
+                           metrics=metrics)
+    if not result.reproduced:
+        print("bundle does not reproduce its record; nothing to shrink",
+              file=sys.stderr)
+        _close_obs(args, tracer, metrics)
+        return 1
+    out = args.out
+    if out is None:
+        base = args.bundle[:-5] if args.bundle.endswith(".json") \
+            else args.bundle
+        out = base + ".min.json"
+    result.bundle.save(out)
+    summary = result.summary()
+    print("ops      : %s (%.0f%% removed)"
+          % (summary["ops"], 100 * result.op_reduction))
+    print("schedule : %s" % summary["schedule"])
+    print("tests    : %d (budget %d)" % (result.tests, args.budget))
+    print("verified : %s" % ("yes" if result.verified else "NO"))
+    print("minimized bundle written to %s" % out)
+    _close_obs(args, tracer, metrics)
+    return 0 if result.verified else 1
+
+
 def cmd_stats(args):
     try:
         summary = summarize_path(args.file)
@@ -279,6 +367,7 @@ def cmd_tables(args):
         print("fuzzing %s..." % name, file=sys.stderr)
         results[name] = _fuzz_one(name, args, tracer=tracer,
                                   metrics=metrics)
+        _save_repro(results[name], args)
     _close_obs(args, tracer, metrics)
     print(render_table(build_table2(results),
                        ["#", "system", "type", "new", "description",
@@ -335,6 +424,35 @@ def build_parser():
                                "partitioned by crash-image digest "
                                "(default 1 = in-process)")
 
+    replay = sub.add_parser(
+        "replay",
+        help="re-execute a repro bundle and assert the same first "
+             "inconsistency (nonzero exit on divergence)")
+    replay.add_argument("bundle", help="path to a repro bundle JSON file")
+    replay.add_argument("--validate", action="store_true",
+                        help="also post-failure validate the re-detected "
+                             "record and report its verdict")
+    replay.add_argument("--trace-out", metavar="FILE", dest="trace_out",
+                        help="write a typed JSONL event trace here")
+    replay.add_argument("--metrics-out", metavar="FILE",
+                        dest="metrics_out",
+                        help="write the metrics registry as JSONL here")
+
+    shrink = sub.add_parser(
+        "shrink",
+        help="delta-debug a repro bundle down to a minimal reproducer")
+    shrink.add_argument("bundle", help="path to a repro bundle JSON file")
+    shrink.add_argument("--budget", type=int, metavar="N", default=200,
+                        help="max candidate replays (default 200)")
+    shrink.add_argument("--out", metavar="FILE",
+                        help="minimized bundle path (default "
+                             "<bundle>.min.json)")
+    shrink.add_argument("--trace-out", metavar="FILE", dest="trace_out",
+                        help="write a typed JSONL event trace here")
+    shrink.add_argument("--metrics-out", metavar="FILE",
+                        dest="metrics_out",
+                        help="write the metrics registry as JSONL here")
+
     tables = sub.add_parser("tables", help="fuzz all targets, print tables")
     _add_fuzz_options(tables)
 
@@ -365,6 +483,7 @@ def main(argv=None):
     handler = {"targets": cmd_targets, "fuzz": cmd_fuzz,
                "fuzz-parallel": cmd_fuzz_parallel,
                "validate": cmd_validate,
+               "replay": cmd_replay, "shrink": cmd_shrink,
                "tables": cmd_tables, "stats": cmd_stats,
                "lint": cmd_lint}[args.command]
     return handler(args)

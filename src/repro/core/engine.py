@@ -57,7 +57,7 @@ class PMRaceConfig:
                  writer_waiting=150, max_steps=30_000, spin_hang_limit=400,
                  coverage_feedback="both", base_seed=0, whitelist=None,
                  eadr=False, profile=True, evict_fraction=0.0,
-                 static_hints=False):
+                 static_hints=False, capture_repro=False):
         self.mode = mode
         self.n_threads = n_threads
         self.ops_per_thread = ops_per_thread
@@ -97,6 +97,11 @@ class PMRaceConfig:
         #: queue at maximal frequency before any dynamic profile exists,
         #: so the first guided interleavings aim at suspicious windows.
         self.static_hints = static_hints
+        #: Record a deterministic repro bundle (schedule decision vector,
+        #: RNG draw journals, op lists — :mod:`repro.replay`) for every
+        #: kept inconsistency record. Off by default: capture costs one
+        #: policy wrapper plus per-campaign journaling.
+        self.capture_repro = capture_repro
 
 
 def fuzz_target(target, config=None, seeds=(7, 13), tracer=None,
@@ -257,6 +262,12 @@ class RunResult:
         never got one: a session whose first occurrence carried no crash
         image stamps PENDING, and another session's duplicate — validated
         with an image — settles the verdict."""
+        # Repro bundles ride the same adoption rule as crash images: a
+        # duplicate captured with a bundle makes a bundle-less kept
+        # record replayable (the bundles reproduce the same dedup key).
+        if getattr(kept, "bundle", None) is None and \
+                getattr(duplicate, "bundle", None) is not None:
+            kept.bundle = duplicate.bundle
         if kept.verdict is Verdict.PENDING:
             if duplicate.verdict is not Verdict.PENDING:
                 kept.verdict = duplicate.verdict
@@ -365,11 +376,20 @@ class PMRace:
         import random as _random
         mutator = OperationMutator(space, cfg.n_threads, cfg.ops_per_thread,
                                    rng=_random.Random(cfg.base_seed))
-        priv_rng = _random.Random(cfg.base_seed + 1)
-        # Independent stream for crash-image eviction sampling so eviction
-        # patterns track the campaign seed without perturbing the
-        # privileged-election or mutation draws.
-        evict_rng = _random.Random(cfg.base_seed + 2)
+        if cfg.capture_repro:
+            # Capture mode journals the draws each campaign consumes:
+            # these streams are shared across campaigns, so replaying
+            # campaign N standalone needs its draws, not the seed.
+            from ..replay import CampaignCapture, RecordingRandom
+            from ..runtime.policies import RecordingPolicy
+            priv_rng = RecordingRandom(cfg.base_seed + 1)
+            evict_rng = RecordingRandom(cfg.base_seed + 2)
+        else:
+            priv_rng = _random.Random(cfg.base_seed + 1)
+            # Independent stream for crash-image eviction sampling so
+            # eviction patterns track the campaign seed without perturbing
+            # the privileged-election or mutation draws.
+            evict_rng = _random.Random(cfg.base_seed + 2)
         # One interning table per run: skips, coverage, and the priority
         # queue compare call-site ids across campaigns.
         from ..instrument.callsite import CallSiteTable
@@ -457,6 +477,15 @@ class PMRace:
                         result.annotation_count,
                         state.annotations.annotation_count)
                     policy = self._make_policy(result.campaigns)
+                    capture = None
+                    if cfg.capture_repro:
+                        capture = CampaignCapture(
+                            self.target.NAME, cfg, cfg.base_seed,
+                            result.campaigns, seed.threads, entry,
+                            dict(seed_skips))
+                        policy = RecordingPolicy(policy)
+                        priv_rng.begin_segment()
+                        evict_rng.begin_segment()
                     campaign_kwargs = dict(
                         entry=entry, rng=priv_rng,
                         initial_skips=dict(seed_skips),
@@ -482,6 +511,20 @@ class PMRace:
                     if campaign_counter is not None:
                         campaign_counter.inc()
                     elapsed = time.monotonic() - start
+                    if capture is not None:
+                        checker = campaign.checker
+                        if checker.inconsistencies:
+                            first_key = \
+                                checker.inconsistencies[0].dedup_key()
+                        elif checker.sync_inconsistencies:
+                            first_key = \
+                                checker.sync_inconsistencies[0].dedup_key()
+                        else:
+                            first_key = None
+                        capture.finish(policy.decisions,
+                                       priv_rng.end_segment(),
+                                       evict_rng.end_segment(),
+                                       callsites, first_key=first_key)
                     if campaign.outcome.status == "error":
                         raise campaign.outcome.error
                     new_branch = branch_cov.merge(campaign.branch_edges)
@@ -496,10 +539,12 @@ class PMRace:
                             seed_skips[instr] = \
                                 seed_skips.get(instr, 0) + skip
                     if profiler is None:
-                        self._harvest(result, campaign, seed, elapsed)
+                        self._harvest(result, campaign, seed, elapsed,
+                                      capture=capture)
                     else:
                         with profiler.phase("harvest"):
-                            self._harvest(result, campaign, seed, elapsed)
+                            self._harvest(result, campaign, seed, elapsed,
+                                          capture=capture)
                         profiler.sample(result.campaigns)
                     if tracer.enabled:
                         tracer.emit("campaign", index=result.campaigns,
@@ -552,7 +597,7 @@ class PMRace:
             with profiler.phase("validate"):
                 self.validation.drain()
 
-    def _harvest(self, result, campaign, seed, elapsed):
+    def _harvest(self, result, campaign, seed, elapsed, capture=None):
         checker = campaign.checker
         tracer = self.tracer
         metrics = self.metrics
@@ -580,11 +625,18 @@ class PMRace:
             if key in result._inconsistency_keys:
                 # Dedup-equal duplicate: its crash image may settle a
                 # kept record that arrived imageless (PENDING forever
-                # before this hook existed).
+                # before this hook existed), and its campaign's bundle
+                # can make a bundle-less kept record replayable.
                 self.validation.offer_image(key, record.crash_image)
+                if capture is not None:
+                    kept = result._inconsistency_keys[key]
+                    if kept.bundle is None:
+                        kept.bundle = capture.bundle_for(kept)
                 continue
             result._inconsistency_keys[key] = record
             result.inconsistencies.append(record)
+            if capture is not None:
+                record.bundle = capture.bundle_for(record)
             if metrics is not None:
                 metrics.counter("detect.inconsistencies.%s"
                                 % record.kind).inc()
@@ -605,9 +657,15 @@ class PMRace:
             key = record.dedup_key()
             if key in result._sync_keys:
                 self.validation.offer_image(key, record.crash_image)
+                if capture is not None:
+                    kept = result._sync_keys[key]
+                    if kept.bundle is None:
+                        kept.bundle = capture.bundle_for(kept)
                 continue
             result._sync_keys[key] = record
             result.sync_inconsistencies.append(record)
+            if capture is not None:
+                record.bundle = capture.bundle_for(record)
             if metrics is not None:
                 metrics.counter("detect.inconsistencies.sync").inc()
             if tracer.enabled:

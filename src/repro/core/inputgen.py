@@ -10,6 +10,7 @@ serialized command text and routinely produces syntactically invalid
 commands (Table 4's "Error" column).
 """
 
+import json
 import random
 
 
@@ -36,6 +37,16 @@ class Seed:
 
     def flat_ops(self):
         return [op for ops in self.threads for op in ops]
+
+    def to_jsonable(self):
+        """Deep-copied, JSON-safe per-thread op lists (repro bundles
+        store exactly this shape)."""
+        return json.loads(json.dumps(self.threads))
+
+    @classmethod
+    def from_jsonable(cls, threads, parent=None):
+        """Rebuild a seed from bundle-stored op lists (fresh seed_id)."""
+        return cls(threads, parent=parent)
 
     def __repr__(self):
         return "<Seed #%d ops=%d threads=%d>" % (

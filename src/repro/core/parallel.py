@@ -128,6 +128,12 @@ def _run_worker(payload):
 
     Exceptions are captured and shipped back as a tagged tuple so one
     crashing worker cannot tear down the whole ``map``/pool iteration.
+
+    When the config has ``capture_repro`` on, the records inside the
+    returned RunResult carry their repro bundles (plain-data JSON
+    documents) across the pickle boundary; the merge in ``_absorb``
+    adopts a duplicate's bundle for any bundle-less kept record, same
+    as crash images.
     """
     worker_id, attempt, factory, config, seed = payload
     try:

@@ -259,6 +259,13 @@ def build_table6(results):
     return rows
 
 
+def count_repro_bundles(result):
+    """Kept records carrying a repro bundle (``--repro-dir`` capture)."""
+    return sum(1 for record in list(result.inconsistencies)
+               + list(result.sync_inconsistencies)
+               if getattr(record, "bundle", None) is not None)
+
+
 def build_worker_table(result):
     """Per-worker attempt rows for a parallel run's ``worker_stats``."""
     rows = []

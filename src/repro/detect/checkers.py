@@ -128,7 +128,11 @@ class InconsistencyChecker(Observer):
         if not event.taint:
             return
         side_effect_instr = None
-        for label in event.taint:
+        # TaintLabel hashes by identity, so frozenset iteration order
+        # follows memory layout and varies between processes. Record
+        # order must not (repro bundles replay in fresh processes) —
+        # confirm in candidate order.
+        for label in sorted(event.taint, key=lambda lbl: lbl.candidate_id):
             candidate = self.candidates[label.candidate_id] \
                 if label.candidate_id < len(self.candidates) else None
             if candidate is None:

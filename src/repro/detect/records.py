@@ -59,7 +59,7 @@ class InconsistencyRecord:
 
     __slots__ = ("candidate", "side_effect_instr", "side_effect_addr",
                  "side_effect_size", "address_flow", "stack", "crash_image",
-                 "verdict", "note")
+                 "verdict", "note", "bundle")
 
     def __init__(self, candidate, side_effect_instr, side_effect_addr,
                  side_effect_size, address_flow, stack, crash_image):
@@ -72,6 +72,9 @@ class InconsistencyRecord:
         self.crash_image = crash_image
         self.verdict = Verdict.PENDING
         self.note = ""
+        #: :class:`~repro.replay.bundle.ReproBundle` reproducing this
+        #: record, attached by the engine when capture is on.
+        self.bundle = None
 
     @property
     def kind(self):
@@ -103,7 +106,8 @@ class SyncInconsistencyRecord:
     """
 
     __slots__ = ("annotation_name", "addr", "size", "init_val", "new_value",
-                 "instr_id", "stack", "crash_image", "verdict", "note")
+                 "instr_id", "stack", "crash_image", "verdict", "note",
+                 "bundle")
 
     def __init__(self, annotation_name, addr, size, init_val, new_value,
                  instr_id, stack, crash_image):
@@ -117,6 +121,9 @@ class SyncInconsistencyRecord:
         self.crash_image = crash_image
         self.verdict = Verdict.PENDING
         self.note = ""
+        #: :class:`~repro.replay.bundle.ReproBundle` reproducing this
+        #: record, attached by the engine when capture is on.
+        self.bundle = None
 
     @property
     def kind(self):

@@ -45,6 +45,7 @@ def record_to_dict(record):
             "verdict": record.verdict.value,
             "note": record.note,
             "stack": list(record.stack or ()),
+            "has_repro_bundle": getattr(record, "bundle", None) is not None,
         }
     if isinstance(record, SyncInconsistencyRecord):
         return {
@@ -58,6 +59,7 @@ def record_to_dict(record):
             "update_code": record.instr_id,
             "verdict": record.verdict.value,
             "note": record.note,
+            "has_repro_bundle": getattr(record, "bundle", None) is not None,
         }
     raise TypeError("cannot serialize %r" % (record,))
 

@@ -81,6 +81,24 @@ def fresh_target_factory(target):
     return cls
 
 
+def make_validation_queue(target_name, whitelist=None, probe_hangs=False,
+                          tracer=None, metrics=None, cache=True):
+    """A standalone cached :class:`ValidationQueue` for ``target_name``.
+
+    The replay/shrink tooling validates re-detected records outside any
+    engine instance; this builds the same validator + queue stack the
+    engine wires up, from just a registry target name.
+    """
+    from ..targets.registry import make_target
+
+    target = make_target(target_name)
+    validator = PostFailureValidator(
+        fresh_target_factory(target), whitelist or Whitelist(),
+        probe_hangs=probe_hangs, tracer=tracer, metrics=metrics)
+    return ValidationQueue(validator, tracer=tracer, metrics=metrics,
+                           cache=cache)
+
+
 class ValidationQueue:
     """Deferred post-failure validation with a crash-image replay cache.
 

@@ -144,6 +144,10 @@ class CallSiteTable:
         name = self.name
         return tuple(name(site_id) for site_id in site_ids)
 
+    def snapshot(self):
+        """The full string table, index == interned id (repro bundles)."""
+        return list(self._names)
+
 
 def call_site(skip=2):
     """Instruction ID (string form) of the first caller outside the

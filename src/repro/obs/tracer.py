@@ -37,6 +37,11 @@ EVENT_TYPES = frozenset({
     "validate_drain",    # deferred validation queue drained (cache stats)
     "validate_upgrade",  # a PENDING record received a duplicate's image
     "worker",            # parallel service absorbed one worker attempt
+    "replay_start",      # repro replay: one bundle re-execution begins
+    "replay_divergence", # ... the schedule diverged (first mismatch)
+    "replay_end",        # ... ends; carries the reproduction verdict
+    "shrink_step",       # repro shrink: one ddmin candidate replayed
+    "shrink_done",       # ... minimization finished (size summary)
     "span_begin",        # explicit span (paired with span_end)
     "span_end",
     "metrics_snapshot",  # embedded metrics dump

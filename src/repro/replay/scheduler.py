@@ -1,0 +1,44 @@
+"""The replay scheduler: a Scheduler driven by a recorded schedule.
+
+:class:`ReplayScheduler` is a plain :class:`~repro.runtime.scheduler.
+Scheduler` whose policy is expected to be a
+:class:`~repro.runtime.policies.ReplayPolicy` (optionally wrapped in a
+:class:`~repro.runtime.policies.RecordingPolicy` for re-capture). It is
+injected into :func:`~repro.core.campaign.run_campaign` through the
+``scheduler_factory`` hook and adds the divergence bookkeeping the
+replayer reports:
+
+* :attr:`divergence` — the first decision-vector mismatch (index,
+  expected tid, runnable tids, step), or None for a faithful replay;
+* :attr:`decisions_replayed` — how far into the vector the run got,
+  which with the vector length distinguishes "run ended early" from
+  "run needed more decisions than were recorded".
+"""
+
+from ..runtime.scheduler import Scheduler
+
+
+class ReplayScheduler(Scheduler):
+    """Scheduler whose successor choices come from a recorded vector."""
+
+    @property
+    def _replay_policy(self):
+        # The policy may be a RecordingPolicy wrapping the ReplayPolicy.
+        policy = self.policy
+        inner = getattr(policy, "inner", None)
+        return inner if inner is not None else policy
+
+    @property
+    def divergence(self):
+        """First decision mismatch diagnostic, or None."""
+        return getattr(self._replay_policy, "divergence", None)
+
+    @property
+    def decisions_replayed(self):
+        """Number of recorded decisions consumed so far."""
+        return getattr(self._replay_policy, "index", 0)
+
+    @property
+    def decisions_recorded(self):
+        """Length of the decision vector being replayed."""
+        return len(getattr(self._replay_policy, "decisions", ()))

@@ -4,6 +4,8 @@ from .scheduler import Hang, RunOutcome, Scheduler
 from .thread import SimThread, ThreadKilled, ThreadState
 from .policies import (
     DelayInjectionPolicy,
+    RecordingPolicy,
+    ReplayPolicy,
     RoundRobinPolicy,
     SchedulingPolicy,
     SeededRandomPolicy,
@@ -21,6 +23,8 @@ __all__ = [
     "RoundRobinPolicy",
     "SeededRandomPolicy",
     "DelayInjectionPolicy",
+    "RecordingPolicy",
+    "ReplayPolicy",
     "SimLock",
     "SimRWLock",
 ]

@@ -12,6 +12,12 @@ policies here stay simple:
 * :class:`DelayInjectionPolicy` — the paper's comparison scheme: before
   each PM access a random delay (bounded) is injected by putting the
   current thread to sleep for a few scheduling rounds.
+
+Two meta-policies support deterministic reproducer bundles
+(:mod:`repro.replay`): :class:`RecordingPolicy` journals every successor
+decision an inner policy makes, and :class:`ReplayPolicy` re-drives a
+recorded decision vector, falling back to a seeded policy — and noting
+the first divergence — when the trace and the execution disagree.
 """
 
 import random
@@ -78,3 +84,92 @@ class DelayInjectionPolicy(SeededRandomPolicy):
     def on_yield(self, scheduler, thread, kind):
         if kind == "op" and self.rng.random() < self.delay_prob:
             thread.sleep_steps += self.rng.randint(1, self.max_delay_steps)
+
+
+class RecordingPolicy(SchedulingPolicy):
+    """Wrap a policy and journal every successor decision (as tids).
+
+    The wrapper is transparent: ``pick``/``on_yield`` delegate to the
+    inner policy, so the driven interleaving is identical with or
+    without recording. ``decisions`` afterwards holds one tid per
+    ``pick`` call, in order — the schedule decision vector a
+    :class:`ReplayPolicy` can re-drive.
+    """
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.decisions = []
+
+    @property
+    def divergence(self):
+        """Pass-through when wrapping a :class:`ReplayPolicy`."""
+        return getattr(self.inner, "divergence", None)
+
+    def pick(self, scheduler, candidates, prev):
+        chosen = self.inner.pick(scheduler, candidates, prev)
+        self.decisions.append(chosen.tid)
+        return chosen
+
+    def on_yield(self, scheduler, thread, kind):
+        self.inner.on_yield(scheduler, thread, kind)
+
+    def reset(self):
+        self.decisions = []
+        self.inner.reset()
+
+
+class ReplayPolicy(SchedulingPolicy):
+    """Re-drive a recorded schedule decision vector.
+
+    Each ``pick`` consumes the next recorded tid. When the recorded
+    thread is not runnable (it already finished — the execution
+    diverged from the recording) or the trace is exhausted before the
+    run ends, the policy falls back to ``fallback`` (or the lowest-tid
+    candidate) for that pick and keeps going: divergence must never
+    crash the scheduler, it is *diagnosed*. Only the first divergence
+    is kept, as a dict with the decision index, the expected tid, the
+    tids that were actually runnable, and the scheduler step count —
+    the diagnostics ``repro replay`` prints.
+    """
+
+    def __init__(self, decisions, fallback=None):
+        self.decisions = list(decisions)
+        self.fallback = fallback
+        self.index = 0
+        self.divergence = None
+
+    def reset(self):
+        self.index = 0
+        self.divergence = None
+        if self.fallback is not None:
+            self.fallback.reset()
+
+    def _diverge(self, scheduler, candidates, index, expected, reason):
+        if self.divergence is None:
+            self.divergence = {
+                "index": index,
+                "expected_tid": expected,
+                "runnable_tids": sorted(t.tid for t in candidates),
+                "step": scheduler.steps,
+                "reason": reason,
+            }
+
+    def _fallback_pick(self, scheduler, candidates, prev):
+        if self.fallback is not None:
+            return self.fallback.pick(scheduler, candidates, prev)
+        return min(candidates, key=lambda t: t.tid)
+
+    def pick(self, scheduler, candidates, prev):
+        index = self.index
+        if index >= len(self.decisions):
+            self._diverge(scheduler, candidates, index, None,
+                          "trace-exhausted")
+            return self._fallback_pick(scheduler, candidates, prev)
+        tid = self.decisions[index]
+        self.index = index + 1
+        for thread in candidates:
+            if thread.tid == tid:
+                return thread
+        self._diverge(scheduler, candidates, index, tid,
+                      "thread-not-runnable")
+        return self._fallback_pick(scheduler, candidates, prev)

@@ -112,6 +112,21 @@ class TestInconsistencies:
         view.ntstore_u64(128, value)
         assert checker.inconsistencies[0].crash_image is None
 
+    def test_multi_candidate_store_confirms_in_candidate_order(self):
+        # One tainted store can confirm several candidates at once. The
+        # taint set hashes labels by identity, so its iteration order
+        # follows memory layout and varies between processes — records
+        # must come out in candidate order regardless (repro bundles
+        # rely on record order surviving a fresh process).
+        _pool, _ctx, checker, view = make()
+        view.store_u64(64, 2)
+        view.store_u64(128, 3)
+        a = view.load_u64(64)
+        b = view.load_u64(128)
+        view.store_u64(256, a + b)  # carries both labels
+        ids = [r.candidate.candidate_id for r in checker.inconsistencies]
+        assert ids == [0, 1]
+
     def test_writeback_to_source_not_flagged(self):
         _pool, _ctx, checker, view = make()
         view.store_u64(64, 1)

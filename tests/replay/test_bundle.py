@@ -1,0 +1,99 @@
+"""Bundle format: validation, accessors, serialization, filenames."""
+
+import pytest
+
+from repro.replay import (
+    BUNDLE_VERSION,
+    BundleError,
+    ReproBundle,
+    bundle_filename,
+    validate_bundle_data,
+)
+
+
+def minimal_bundle_data(**overrides):
+    data = {
+        "version": BUNDLE_VERSION,
+        "target": "memcached-pmem",
+        "kind": "inter",
+        "dedup_key": ["inter", "w", "r", "e"],
+        "first_key": ["inter", "w", "r", "e"],
+        "verdict": "pending",
+        "config": {"mode": "pmrace", "n_threads": 2},
+        "base_seed": 7,
+        "campaign_index": 3,
+        "ops": [[{"op": "set", "key": 1, "value": 2}], []],
+        "entry": None,
+        "skips": {},
+        "schedule": [0, 1, 0],
+        "priv_draws": [0.5, [8, 17]],
+        "evict_draws": [],
+        "callsites": ["a:b:1"],
+    }
+    data.update(overrides)
+    return data
+
+
+def test_valid_bundle_round_trips():
+    bundle = ReproBundle(minimal_bundle_data())
+    clone = ReproBundle.from_json(bundle.to_json())
+    assert clone.data == bundle.data
+    assert clone.dedup_key == ("inter", "w", "r", "e")
+    assert clone.first_key == ("inter", "w", "r", "e")
+    assert clone.op_count == 1
+    assert clone.verdict == "pending"
+
+
+def test_missing_field_rejected():
+    data = minimal_bundle_data()
+    del data["schedule"]
+    with pytest.raises(BundleError, match="schedule"):
+        validate_bundle_data(data)
+
+
+def test_wrong_version_rejected():
+    with pytest.raises(BundleError, match="version"):
+        ReproBundle(minimal_bundle_data(version=BUNDLE_VERSION + 1))
+
+
+def test_malformed_schedule_rejected():
+    with pytest.raises(BundleError, match="thread ids"):
+        ReproBundle(minimal_bundle_data(schedule=[0, "t1"]))
+
+
+def test_malformed_ops_rejected():
+    with pytest.raises(BundleError, match="ops"):
+        ReproBundle(minimal_bundle_data(ops={"0": []}))
+
+
+def test_not_json_rejected():
+    with pytest.raises(BundleError, match="JSON"):
+        ReproBundle.from_json("{nope")
+
+
+def test_with_updates_returns_new_validated_bundle():
+    bundle = ReproBundle(minimal_bundle_data())
+    updated = bundle.with_updates(schedule=[1, 1], verdict="bug")
+    assert updated is not bundle
+    assert updated.schedule == [1, 1]
+    assert updated.verdict == "bug"
+    assert bundle.schedule == [0, 1, 0]  # original untouched
+    with pytest.raises(BundleError):
+        bundle.with_updates(schedule=["x"])
+
+
+def test_save_load(tmp_path):
+    bundle = ReproBundle(minimal_bundle_data())
+    path = str(tmp_path / "b.json")
+    bundle.save(path)
+    assert ReproBundle.load(path).data == bundle.data
+
+
+def test_bundle_filename_deterministic():
+    a = ReproBundle(minimal_bundle_data())
+    b = ReproBundle(minimal_bundle_data())
+    other = ReproBundle(minimal_bundle_data(
+        dedup_key=["inter", "w", "r", "other"]))
+    assert bundle_filename(a) == bundle_filename(b)
+    assert bundle_filename(a) != bundle_filename(other)
+    assert bundle_filename(a).startswith("memcached-pmem-inter-")

@@ -1,0 +1,72 @@
+"""Divergence detection: tampered bundles must be diagnosed, not trusted."""
+
+from repro.replay import replay_bundle, replay_campaign
+
+
+def test_tampered_schedule_reports_divergence(memcached_bundle):
+    # Plant a tid no thread ever has: the prefix replays faithfully, so
+    # the mismatch is diagnosed at exactly the tampered index — and as
+    # a diagnostic, never an exception.
+    schedule = list(memcached_bundle.schedule)
+    index = len(schedule) // 2
+    schedule[index] = 10_000
+    tampered = memcached_bundle.with_updates(schedule=schedule)
+    outcome = replay_bundle(tampered)
+    assert not outcome.ok
+    assert outcome.divergence is not None
+    assert outcome.divergence["index"] == index
+    assert outcome.divergence["expected_tid"] == 10_000
+    assert outcome.divergence["reason"] == "thread-not-runnable"
+
+
+def test_truncated_schedule_reports_trace_exhausted(memcached_bundle):
+    truncated = memcached_bundle.with_updates(
+        schedule=list(memcached_bundle.schedule[:5]))
+    outcome = replay_bundle(truncated)
+    assert outcome.divergence is not None
+    assert not outcome.ok
+
+
+def test_divergent_replay_still_completes(memcached_bundle):
+    # Fallback semantics: a diverged replay finishes the campaign under
+    # the seeded fallback policy instead of dying mid-run.
+    truncated = memcached_bundle.with_updates(
+        schedule=list(memcached_bundle.schedule[:5]))
+    run = replay_campaign(truncated)
+    assert run.error is None
+    assert run.status in ("ok", "hang", "budget")
+    assert len(run.decisions) > 5
+
+
+def test_tracer_sees_divergence(memcached_bundle, tmp_path):
+    import json
+
+    from repro.obs.tracer import Tracer
+
+    path = str(tmp_path / "trace.jsonl")
+    tracer = Tracer(path)
+    truncated = memcached_bundle.with_updates(
+        schedule=list(memcached_bundle.schedule[:5]))
+    replay_bundle(truncated, tracer=tracer)
+    tracer.close()
+    with open(path) as handle:
+        events = [json.loads(line) for line in handle]
+    types = [event["type"] for event in events]
+    assert "replay_start" in types
+    assert "replay_divergence" in types
+    assert "replay_end" in types
+    end = events[types.index("replay_end")]
+    assert end["diverged"] is True
+
+
+def test_metrics_count_divergence(memcached_bundle):
+    from repro.obs.metrics import Metrics
+
+    metrics = Metrics()
+    replay_bundle(memcached_bundle, metrics=metrics)
+    truncated = memcached_bundle.with_updates(
+        schedule=list(memcached_bundle.schedule[:5]))
+    replay_bundle(truncated, metrics=metrics)
+    assert metrics.value("replay.runs") == 2
+    assert metrics.value("replay.reproduced") >= 1
+    assert metrics.value("replay.divergence") == 1

@@ -1,0 +1,91 @@
+"""RunResult.merge must not drop repro bundles from duplicate records.
+
+A kept record captured without a bundle (capture off, or a pre-capture
+session) becomes replayable when a dedup-equal duplicate arrives with
+one — the same adoption rule merge applies to crash images.
+"""
+
+from repro.core.engine import PMRaceConfig, RunResult
+from repro.detect.records import CandidateRecord, InconsistencyRecord, Verdict
+from repro.replay import BUNDLE_VERSION, ReproBundle
+
+
+def make_record(effect="m:f:3"):
+    candidate = CandidateRecord(0, 0x10, 8, "m:f:1", "m:f:2", 0, 1,
+                                ("m:f:1",), 5)
+    return InconsistencyRecord(candidate, effect, 0x20, 8, False,
+                               ("m:f:3",), None)
+
+
+def make_bundle(record, tag="a"):
+    return ReproBundle({
+        "version": BUNDLE_VERSION,
+        "target": "memcached-pmem",
+        "kind": record.kind,
+        "dedup_key": list(record.dedup_key()),
+        "first_key": list(record.dedup_key()),
+        "verdict": record.verdict.value,
+        "config": {"mode": "pmrace", "tag": tag},
+        "base_seed": 7,
+        "campaign_index": 0,
+        "ops": [[{"op": "get", "key": 1}]],
+        "entry": None,
+        "skips": {},
+        "schedule": [0],
+        "priv_draws": [],
+        "evict_draws": [],
+        "callsites": [],
+    })
+
+
+def result_with(record):
+    result = RunResult("memcached-pmem", PMRaceConfig())
+    result._inconsistency_keys[record.dedup_key()] = record
+    result.inconsistencies.append(record)
+    return result
+
+
+def test_merge_adopts_duplicate_bundle():
+    kept = make_record()
+    duplicate = make_record()
+    duplicate.bundle = make_bundle(duplicate)
+    merged = result_with(kept)
+    merged.merge(result_with(duplicate))
+    assert len(merged.inconsistencies) == 1
+    assert merged.inconsistencies[0] is kept
+    assert kept.bundle is duplicate.bundle
+
+
+def test_merge_keeps_existing_bundle():
+    kept = make_record()
+    kept.bundle = make_bundle(kept, tag="kept")
+    duplicate = make_record()
+    duplicate.bundle = make_bundle(duplicate, tag="dup")
+    merged = result_with(kept)
+    merged.merge(result_with(duplicate))
+    assert kept.bundle.data["config"]["tag"] == "kept"
+
+
+def test_merge_bundle_adoption_is_verdict_independent():
+    # Bundle adoption must happen even when the kept record already has
+    # a settled verdict (the PENDING-upgrade path would not fire).
+    kept = make_record()
+    kept.verdict = Verdict.BUG
+    duplicate = make_record()
+    duplicate.bundle = make_bundle(duplicate)
+    merged = result_with(kept)
+    merged.merge(result_with(duplicate))
+    assert kept.verdict is Verdict.BUG
+    assert kept.bundle is duplicate.bundle
+
+
+def test_distinct_records_keep_their_own_bundles():
+    kept = make_record()
+    kept.bundle = make_bundle(kept)
+    other = make_record(effect="m:g:9")
+    other.bundle = make_bundle(other, tag="other")
+    merged = result_with(kept)
+    merged.merge(result_with(other))
+    assert len(merged.inconsistencies) == 2
+    assert merged.inconsistencies[0].bundle is kept.bundle
+    assert merged.inconsistencies[1].bundle is other.bundle

@@ -1,0 +1,87 @@
+"""RecordingPolicy / ReplayPolicy scheduling semantics."""
+
+from repro.runtime.policies import (
+    RecordingPolicy,
+    ReplayPolicy,
+    SeededRandomPolicy,
+)
+
+
+class _Thread:
+    def __init__(self, tid):
+        self.tid = tid
+
+
+class _Scheduler:
+    steps = 17
+
+
+THREADS = [_Thread(0), _Thread(1), _Thread(2)]
+
+
+def test_recording_policy_journals_inner_choices():
+    inner = SeededRandomPolicy(3)
+    recording = RecordingPolicy(inner)
+    scheduler = _Scheduler()
+    picks = [recording.pick(scheduler, THREADS, None) for _ in range(6)]
+    assert recording.decisions == [t.tid for t in picks]
+
+    # The journal drives an identical ReplayPolicy run.
+    replay = ReplayPolicy(recording.decisions)
+    replayed = [replay.pick(scheduler, THREADS, None) for _ in range(6)]
+    assert [t.tid for t in replayed] == recording.decisions
+    assert replay.divergence is None
+
+    recording.reset()
+    assert recording.decisions == []
+
+
+def test_replay_policy_thread_not_runnable_diverges_once():
+    replay = ReplayPolicy([2, 1], fallback=None)
+    scheduler = _Scheduler()
+    runnable = [_Thread(0), _Thread(1)]  # tid 2 is gone
+    chosen = replay.pick(scheduler, runnable, None)
+    assert chosen.tid == 0  # min-tid fallback
+    div = replay.divergence
+    assert div["index"] == 0
+    assert div["expected_tid"] == 2
+    assert div["runnable_tids"] == [0, 1]
+    assert div["step"] == 17
+    assert div["reason"] == "thread-not-runnable"
+    # Later mismatches never overwrite the first diagnostic.
+    replay.pick(scheduler, runnable, None)
+    replay.pick(scheduler, runnable, None)
+    assert replay.divergence is div
+
+
+def test_replay_policy_trace_exhausted_diverges():
+    replay = ReplayPolicy([0], fallback=SeededRandomPolicy(5))
+    scheduler = _Scheduler()
+    assert replay.pick(scheduler, THREADS, None).tid == 0
+    assert replay.divergence is None
+    replay.pick(scheduler, THREADS, None)
+    assert replay.divergence["reason"] == "trace-exhausted"
+    assert replay.divergence["index"] == 1
+    assert replay.divergence["expected_tid"] is None
+
+
+def test_replay_policy_fallback_is_seeded_policy():
+    fallback = SeededRandomPolicy(5)
+    check = SeededRandomPolicy(5)
+    replay = ReplayPolicy([], fallback=fallback)
+    scheduler = _Scheduler()
+    for _ in range(5):
+        assert replay.pick(scheduler, THREADS, None).tid == \
+            check.pick(scheduler, THREADS, None).tid
+
+
+def test_replay_policy_reset_restarts_vector():
+    replay = ReplayPolicy([1, 0])
+    scheduler = _Scheduler()
+    replay.pick(scheduler, THREADS, None)
+    replay.pick(scheduler, THREADS, None)
+    replay.pick(scheduler, THREADS, None)  # exhausted -> divergence
+    assert replay.divergence is not None
+    replay.reset()
+    assert replay.divergence is None
+    assert replay.pick(scheduler, THREADS, None).tid == 1

@@ -1,0 +1,85 @@
+"""RNG journaling: RecordingRandom capture, ReplayRandom service."""
+
+import random
+
+from repro.replay import RecordingRandom, ReplayRandom
+
+
+def test_recording_random_matches_plain_stream():
+    recording = RecordingRandom(42)
+    plain = random.Random(42)
+    recording.begin_segment()
+    assert [recording.random() for _ in range(5)] == \
+        [plain.random() for _ in range(5)]
+    assert recording.getrandbits(16) == plain.getrandbits(16)
+    journal = recording.end_segment()
+    assert len(journal) == 6
+    assert all(isinstance(d, float) for d in journal[:5])
+    assert journal[5][0] == 16
+
+
+def test_derived_methods_route_through_primitives():
+    # choice/randint/shuffle must all land in the journal, because
+    # replay only overrides the two primitives.
+    recording = RecordingRandom(3)
+    recording.begin_segment()
+    recording.choice(["a", "b", "c"])
+    recording.randint(0, 99)
+    recording.shuffle(list(range(8)))
+    journal = recording.end_segment()
+    assert journal, "derived draws bypassed the journaled primitives"
+
+    replay = ReplayRandom(journal, fallback_seed=999)
+    check = RecordingRandom(3)
+    assert replay.choice(["a", "b", "c"]) == check.choice(["a", "b", "c"])
+    assert replay.randint(0, 99) == check.randint(0, 99)
+    items_a, items_b = list(range(8)), list(range(8))
+    replay.shuffle(items_a)
+    check.shuffle(items_b)
+    assert items_a == items_b
+
+
+def test_replay_random_serves_journal_then_falls_back():
+    source = RecordingRandom(1)
+    source.begin_segment()
+    recorded = [source.random() for _ in range(3)]
+    journal = source.end_segment()
+
+    replay = ReplayRandom(journal, fallback_seed=2)
+    assert [replay.random() for _ in range(3)] == recorded
+    assert replay.exhausted
+    # Past the journal: the seeded fallback stream, deterministically.
+    assert replay.random() == random.Random(2).random()
+
+
+def test_replay_random_type_mismatch_abandons_journal():
+    journal = [[8, 200], 0.25]
+    replay = ReplayRandom(journal, fallback_seed=5)
+    # Asks for a float where bits were recorded: journal goes dead.
+    value = replay.random()
+    assert replay.exhausted
+    assert value == random.Random(5).random()
+    # The remaining journal entry is NOT served after the mismatch.
+    follow = ReplayRandom([], fallback_seed=5)
+    follow.random()
+    assert replay.getrandbits(8) == follow.getrandbits(8)
+
+
+def test_replay_random_bit_width_mismatch_abandons_journal():
+    replay = ReplayRandom([[8, 200]], fallback_seed=5)
+    replay.getrandbits(16)
+    assert replay.exhausted
+
+
+def test_replay_random_rejournals_served_draws():
+    source = RecordingRandom(1)
+    source.begin_segment()
+    source.random()
+    source.getrandbits(12)
+    journal = source.end_segment()
+
+    replay = ReplayRandom(journal, fallback_seed=0)
+    replay.begin_segment()
+    replay.random()
+    replay.getrandbits(12)
+    assert replay.end_segment() == journal

@@ -1,0 +1,57 @@
+"""Capture → replay round-trip on every registered target.
+
+The core tentpole guarantee: a bundle captured from a pinned-seed run
+re-executes to the byte-identical verdict — same record (dedup key),
+same first inconsistency, zero schedule divergence, zero RNG fallback.
+"""
+
+import pytest
+
+from repro.replay import ReproBundle, replay_bundle, save_bundles
+from repro.targets.registry import target_names
+
+from .conftest import bundled_records, capture_run
+
+#: Campaign budgets tuned so every target detects at least one record
+#: quickly under seed 7.
+_BUDGET = {name: 25 for name in target_names()}
+_BUDGET["FAST-FAIR"] = 40
+
+
+@pytest.mark.parametrize("target_name", target_names())
+def test_round_trip_reproduces_identity(target_name):
+    result = capture_run(target_name, base_seed=7,
+                         max_campaigns=_BUDGET[target_name])
+    records = bundled_records(result)
+    assert records, "no inconsistency captured for %s" % target_name
+    record = records[0]
+    bundle = record.bundle
+    assert bundle.dedup_key == record.dedup_key()
+    assert bundle.target == result.target_name
+
+    outcome = replay_bundle(bundle)
+    assert outcome.reproduced, "replay lost the record on %s" % target_name
+    assert outcome.first_match, \
+        "first inconsistency changed on %s: %s != %s" \
+        % (target_name, outcome.run.first_key, bundle.first_key)
+    assert outcome.divergence is None
+    assert outcome.ok
+    # The replayed record is dedup-identical, not merely same-keyed.
+    assert outcome.record.dedup_key() == record.dedup_key()
+
+
+def test_round_trip_survives_disk(tmp_path, memcached_run):
+    paths = save_bundles(memcached_run, str(tmp_path))
+    assert len(paths) == len(bundled_records(memcached_run))
+    outcome = replay_bundle(ReproBundle.load(paths[0]))
+    assert outcome.ok
+
+
+def test_save_bundles_refreshes_verdict(tmp_path, memcached_run):
+    record = bundled_records(memcached_run)[0]
+    # Captured at detection time the bundle said "pending"; validation
+    # has run since, and save must stamp the final verdict.
+    paths = save_bundles(memcached_run, str(tmp_path))
+    saved = ReproBundle.load(paths[0])
+    assert saved.verdict == record.verdict.value
+    assert record.bundle.verdict == record.verdict.value
