@@ -1,0 +1,205 @@
+"""Corpus scheduling benchmark: energy-weighted vs uniform selection.
+
+The seed tier's corpus (:class:`repro.core.corpus.Corpus`) assigns
+AFL-style energy to retained seeds — coverage yield per pick plus a
+recent-progress boost — so productive seeds get more evolution picks.
+This benchmark A/B-tests that policy against the historical uniform
+draw on FAST-FAIR, whose deep split/balance paths reward staying on the
+seeds that keep uncovering them: the same campaign budget is spent under
+each schedule and the branch+alias coverage per campaign is compared.
+
+Both runs are fully deterministic (seeded Mersenne twister, no
+wall-clock decisions), so the coverage side of the checked-in result is
+exact and any drift means an engine behavior change; wall time is
+reported for context only.
+
+Modes:
+
+* default           — writes the table plus machine-readable
+  ``corpus_energy_coverage_per_campaign:`` / ``corpus_energy_ratio:``
+  lines to ``benchmarks/results/bench_corpus_scheduling.txt``.
+* ``--quick``       — same workload, single timing round (CI budget).
+* ``--check``       — measure, then compare against the *checked-in*
+  result instead of rewriting it; exits non-zero when energy-weighted
+  coverage per campaign falls below the uniform baseline
+  (``MIN_RATIO``) or regresses more than ``MAX_REGRESSION`` against
+  the checked-in number.
+
+Runs standalone too: ``python benchmarks/bench_corpus_scheduling.py``.
+"""
+
+import argparse
+import os
+import re
+import sys
+import time
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, _ROOT)
+sys.path.insert(0, os.path.join(_ROOT, "src"))  # works without pip install
+
+from repro.core import PMRace, PMRaceConfig
+from repro.core.results import render_table
+from repro.targets import make_target
+
+from conftest import emit, RESULTS_DIR
+
+TARGET = "FAST-FAIR"
+SEEDS = (7, 13, 42)
+CAMPAIGNS_PER_SEED = 60
+#: Tight per-seed budgets (one execution per interleaving, two guided
+#: rounds) push the run through many seed-tier iterations, which is
+#: where scheduling policy matters.
+EXECS_PER_INTERLEAVING = 1
+MAX_INTERLEAVINGS = 2
+FULL_ROUNDS = 3
+QUICK_ROUNDS = 1
+MAX_REGRESSION = 0.10
+#: The PR's acceptance bar: energy-weighted selection must cover at
+#: least as much per campaign as the uniform baseline.
+MIN_RATIO = 1.0
+RESULT_NAME = "bench_corpus_scheduling"
+
+
+def run_schedule(schedule):
+    """Total branch+alias coverage, campaigns, and wall seconds for one
+    full sweep of SEEDS under ``schedule``."""
+    coverage = 0
+    campaigns = 0
+    start = time.perf_counter()
+    for seed in SEEDS:
+        config = PMRaceConfig(
+            max_campaigns=CAMPAIGNS_PER_SEED, base_seed=seed,
+            max_seeds=200, execs_per_interleaving=EXECS_PER_INTERLEAVING,
+            max_interleavings_per_seed=MAX_INTERLEAVINGS,
+            profile=False, validate=False, corpus_schedule=schedule)
+        result = PMRace(make_target(TARGET), config).run()
+        _campaign, _elapsed, branch, alias = result.coverage_timeline[-1]
+        coverage += branch + alias
+        campaigns += result.campaigns
+    return {"coverage": coverage, "campaigns": campaigns,
+            "seconds": time.perf_counter() - start}
+
+
+def run_bench(rounds):
+    """Coverage is deterministic; only wall time takes the best of
+    ``rounds`` (interleaved so load drift is shared)."""
+    best = {}
+    for _ in range(rounds):
+        for schedule in ("uniform", "energy"):
+            sample = run_schedule(schedule)
+            prior = best.get(schedule)
+            if prior is None:
+                best[schedule] = sample
+            else:
+                assert prior["coverage"] == sample["coverage"], \
+                    "nondeterministic coverage under %s" % schedule
+                prior["seconds"] = min(prior["seconds"],
+                                       sample["seconds"])
+    return best
+
+
+def per_campaign(sample):
+    return sample["coverage"] / float(sample["campaigns"])
+
+
+def result_path():
+    return os.path.join(RESULTS_DIR, RESULT_NAME + ".txt")
+
+
+def load_baseline():
+    """The checked-in energy coverage-per-campaign CI guards."""
+    with open(result_path()) as handle:
+        text = handle.read()
+    found = re.findall(
+        r"^corpus_energy_coverage_per_campaign:\s*([0-9.]+)\s*$",
+        text, re.M)
+    if not found:
+        raise RuntimeError(
+            "no corpus_energy_coverage_per_campaign line in %s"
+            % result_path())
+    return float(found[-1])
+
+
+def render(best, rounds):
+    rows = []
+    for schedule in ("uniform", "energy"):
+        sample = best[schedule]
+        rows.append({
+            "schedule": schedule,
+            "coverage": sample["coverage"],
+            "campaigns": sample["campaigns"],
+            "coverage_per_campaign": "%.3f" % per_campaign(sample),
+            "seconds": "%.2f" % sample["seconds"],
+        })
+    table = render_table(
+        rows, ["schedule", "coverage", "campaigns",
+               "coverage_per_campaign", "seconds"],
+        title="Corpus scheduling (%s, %d campaigns x seeds %s, best "
+              "of %d timing rounds)"
+              % (TARGET, CAMPAIGNS_PER_SEED, SEEDS, rounds))
+    ratio = per_campaign(best["energy"]) / per_campaign(best["uniform"])
+    machine = ("corpus_energy_ratio: %.4f\n"
+               "corpus_energy_coverage_per_campaign: %.3f\n"
+               "corpus_uniform_coverage_per_campaign: %.3f"
+               % (ratio, per_campaign(best["energy"]),
+                  per_campaign(best["uniform"])))
+    return table + "\n\n" + machine
+
+
+def run_and_emit(rounds):
+    best = run_bench(rounds)
+    emit(RESULT_NAME, render(best, rounds))
+    return best
+
+
+def run_check(rounds):
+    """CI perf smoke: energy must stay at least level with uniform and
+    must not regress against the checked-in coverage."""
+    baseline = load_baseline()
+    best = run_bench(rounds)
+    energy = per_campaign(best["energy"])
+    ratio = energy / per_campaign(best["uniform"])
+    floor = baseline * (1.0 - MAX_REGRESSION)
+    print("corpus_energy_coverage_per_campaign: %.3f (checked-in "
+          "baseline %.3f, floor %.3f)" % (energy, baseline, floor))
+    print("corpus_energy_ratio: %.4f (bar %.2f)" % (ratio, MIN_RATIO))
+    failed = False
+    if energy < floor:
+        print("FAIL: energy-weighted coverage regressed more than %d%%"
+              % int(MAX_REGRESSION * 100))
+        failed = True
+    if ratio < MIN_RATIO:
+        print("FAIL: energy scheduling below the uniform baseline")
+        failed = True
+    if not failed:
+        print("OK")
+    return 1 if failed else 0
+
+
+def test_corpus_scheduling(benchmark):
+    best = benchmark.pedantic(run_bench, args=(QUICK_ROUNDS,),
+                              rounds=1, iterations=1)
+    emit(RESULT_NAME, render(best, QUICK_ROUNDS))
+    # the same bar the CI perf-smoke job enforces
+    assert per_campaign(best["energy"]) \
+        >= MIN_RATIO * per_campaign(best["uniform"])
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="single timing round instead of %d (the "
+                             "coverage numbers are deterministic either "
+                             "way)" % FULL_ROUNDS)
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the checked-in result "
+                             "instead of rewriting it; non-zero exit "
+                             "when energy drops below uniform or "
+                             "regresses >%d%%"
+                             % int(MAX_REGRESSION * 100))
+    cli = parser.parse_args()
+    n_rounds = QUICK_ROUNDS if cli.quick else FULL_ROUNDS
+    if cli.check:
+        sys.exit(run_check(n_rounds))
+    run_and_emit(n_rounds)

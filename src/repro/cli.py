@@ -13,6 +13,8 @@ Commands:
     shrink <bundle.json>        ddmin-minimize a repro bundle
     tables                      fuzz everything and print Tables 2/3/5/6
     stats <file.jsonl>          summarize a --trace-out/--metrics-out file
+    corpus <action> <dir>       inspect (stats) or coverage-minimize a
+                                persisted seed corpus (--corpus-dir)
     lint [files...]             static PM-misuse analysis (pmlint); with
                                 no files, lints the five built-in targets
 
@@ -76,6 +78,13 @@ def _add_fuzz_options(parser, parallel_flag=True):
     parser.add_argument("--repro-dir", metavar="DIR", dest="repro_dir",
                         help="capture a deterministic repro bundle per "
                              "kept record and write them here")
+    parser.add_argument("--corpus-dir", metavar="DIR", dest="corpus_dir",
+                        help="persist the retained seed corpus here (one "
+                             "JSON file per seed) and resume from it")
+    parser.add_argument("--corpus-schedule", choices=("energy", "uniform"),
+                        default="energy", dest="corpus_schedule",
+                        help="seed-tier parent selection: AFL-style "
+                             "energy weighting (default) or uniform")
     parser.add_argument("--output", metavar="FILE",
                         help="write the full JSON report here")
     parser.add_argument("--trace-out", metavar="FILE", dest="trace_out",
@@ -91,7 +100,10 @@ def _make_config(args):
                         whitelist=whitelist, eadr=args.eadr,
                         static_hints=getattr(args, "static_hints", False),
                         capture_repro=bool(getattr(args, "repro_dir",
-                                                   None)))
+                                                   None)),
+                        corpus_schedule=getattr(args, "corpus_schedule",
+                                                "energy"),
+                        corpus_dir=getattr(args, "corpus_dir", None))
 
 
 def _make_obs(args):
@@ -320,6 +332,59 @@ def cmd_shrink(args):
     return 0 if result.verified else 1
 
 
+def cmd_corpus(args):
+    """Inspect or minimize an on-disk seed corpus (``--corpus-dir``)."""
+    import json as _json
+    import os
+
+    from .core.corpus import Corpus, minimize_by_coverage
+
+    if not os.path.isdir(args.dir):
+        print("no corpus directory at %s" % args.dir, file=sys.stderr)
+        return 2
+    corpus = Corpus(schedule="uniform", persist_dir=args.dir)
+    loaded = corpus.load()
+    if args.action == "stats":
+        rows = corpus.stats_rows()
+        if args.json:
+            print(_json.dumps({"dir": args.dir, "seeds": rows,
+                               "load_errors": corpus.load_errors},
+                              indent=1, sort_keys=True))
+            return 0
+        for row in rows:
+            row["digest"] = row["digest"][:12]
+        print(render_table(rows, title="Corpus: %d seed(s) in %s"
+                           % (loaded, args.dir)))
+        if corpus.load_errors:
+            print("%d invalid seed file(s) skipped" % corpus.load_errors,
+                  file=sys.stderr)
+        return 0
+    # minimize
+    if not _check_target(args.target):
+        return 2
+    if not len(corpus):
+        print("corpus is empty; nothing to minimize", file=sys.stderr)
+        return 1
+    kept, dropped = minimize_by_coverage(corpus, make_target(args.target),
+                                         base_seed=args.base_seed)
+    print("coverage-minimal corpus: keep %d of %d seed(s)"
+          % (len(kept), len(corpus)))
+    for entry, covered in kept:
+        print("  keep %s (%d ops, covers %d)"
+              % (entry.digest[:12], entry.seed.op_count, covered))
+    for entry, covered in dropped:
+        print("  drop %s (%d ops, covers %d — redundant)"
+              % (entry.digest[:12], entry.seed.op_count, covered))
+    if args.apply:
+        for entry, _covered in dropped:
+            corpus.discard(entry)
+        print("%d redundant seed file(s) removed from %s"
+              % (len(dropped), args.dir))
+    elif dropped:
+        print("(dry run — pass --apply to delete the redundant files)")
+    return 0
+
+
 def cmd_stats(args):
     try:
         summary = summarize_path(args.file)
@@ -460,6 +525,28 @@ def build_parser():
         "stats", help="summarize a --trace-out/--metrics-out JSONL file")
     stats.add_argument("file", help="trace or metrics JSONL path")
 
+    corpus = sub.add_parser(
+        "corpus",
+        help="inspect or minimize an on-disk seed corpus (--corpus-dir)")
+    corpus.add_argument("action", choices=("stats", "minimize"),
+                        help="stats: per-seed scheduling statistics; "
+                             "minimize: greedy coverage-preserving "
+                             "seed-set reduction")
+    corpus.add_argument("dir", help="corpus directory (--corpus-dir)")
+    corpus.add_argument("--json", action="store_true",
+                        help="stats only: emit JSON instead of a table")
+    corpus.add_argument("--target", metavar="NAME",
+                        help="minimize only: Table 1 system the corpus "
+                             "belongs to (coverage is measured by "
+                             "replaying each seed once)")
+    corpus.add_argument("--base-seed", type=int, default=0,
+                        dest="base_seed",
+                        help="minimize only: scheduler seed for the "
+                             "coverage probes (default 0)")
+    corpus.add_argument("--apply", action="store_true",
+                        help="minimize only: delete the redundant seed "
+                             "files instead of dry-running")
+
     lint = sub.add_parser(
         "lint",
         help="static PM-misuse analysis (pmlint) over target source")
@@ -485,7 +572,7 @@ def main(argv=None):
                "validate": cmd_validate,
                "replay": cmd_replay, "shrink": cmd_shrink,
                "tables": cmd_tables, "stats": cmd_stats,
-               "lint": cmd_lint}[args.command]
+               "corpus": cmd_corpus, "lint": cmd_lint}[args.command]
     return handler(args)
 
 

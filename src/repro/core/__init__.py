@@ -7,6 +7,12 @@ from .coverage import (
     BranchCoverageCollector,
     CoverageSet,
 )
+from .corpus import (
+    Corpus,
+    SeedEntry,
+    minimize_by_coverage,
+    seed_digest,
+)
 from .engine import HangRecord, PMRace, PMRaceConfig, RunResult, fuzz_target
 from .inputgen import AflByteMutator, OperationMutator, Seed
 from .parallel import ParallelFuzzService, WorkerStats, fuzz_parallel
@@ -48,6 +54,10 @@ __all__ = [
     "Seed",
     "OperationMutator",
     "AflByteMutator",
+    "Corpus",
+    "SeedEntry",
+    "seed_digest",
+    "minimize_by_coverage",
     "AccessProfiler",
     "SharedAccessEntry",
     "SharedAccessQueue",

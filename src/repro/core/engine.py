@@ -29,6 +29,7 @@ from ..obs.tracer import NULL_TRACER
 from ..runtime.policies import DelayInjectionPolicy, SeededRandomPolicy
 from .campaign import run_campaign
 from .checkpoints import make_state_provider
+from .corpus import Corpus
 from .coverage import CoverageSet
 from .inputgen import OperationMutator
 from .priority import SharedAccessQueue
@@ -57,7 +58,9 @@ class PMRaceConfig:
                  writer_waiting=150, max_steps=30_000, spin_hang_limit=400,
                  coverage_feedback="both", base_seed=0, whitelist=None,
                  eadr=False, profile=True, evict_fraction=0.0,
-                 static_hints=False, capture_repro=False):
+                 static_hints=False, capture_repro=False,
+                 corpus_schedule="energy", corpus_dir=None,
+                 initial_corpus=None):
         self.mode = mode
         self.n_threads = n_threads
         self.ops_per_thread = ops_per_thread
@@ -102,6 +105,19 @@ class PMRaceConfig:
         #: kept inconsistency record. Off by default: capture costs one
         #: policy wrapper plus per-campaign journaling.
         self.capture_repro = capture_repro
+        #: Seed-tier parent selection: "energy" (AFL-style, rare-coverage
+        #: and recently-progressing seeds get more evolution picks) or
+        #: "uniform" (the historical unweighted draw). Both spend the
+        #: same seeded mutator RNG stream, so either is deterministic.
+        self.corpus_schedule = corpus_schedule
+        #: Optional on-disk corpus directory (one versioned JSON file per
+        #: retained seed, written atomically): loaded on start, so a
+        #: killed run resumes with its retained corpus.
+        self.corpus_dir = corpus_dir
+        #: Exported corpus entries (``RunResult.corpus_seeds`` shape) to
+        #: adopt before fuzzing — how the parallel service re-seeds a
+        #: retried worker from the already-merged shared corpus.
+        self.initial_corpus = initial_corpus
 
 
 def fuzz_target(target, config=None, seeds=(7, 13), tracer=None,
@@ -171,6 +187,11 @@ class RunResult:
         #: Per-worker statistics attached by the parallel service
         #: (:mod:`repro.core.parallel`); empty for single-session runs.
         self.worker_stats = []
+        #: Exported retained corpus (plain-JSON ``SeedEntry`` documents,
+        #: :meth:`repro.core.corpus.Corpus.export`); :meth:`merge` folds
+        #: sessions together by content digest so the parallel service
+        #: can re-seed retried workers from the shared corpus.
+        self.corpus_seeds = []
         #: PENDING records upgraded during :meth:`merge` by adopting a
         #: dedup-equal duplicate's verdict (cross-session re-validation).
         self.verdict_upgrades = 0
@@ -246,6 +267,18 @@ class RunResult:
         if other.first_candidate_time is not None and \
                 self.first_candidate_time is None:
             self.first_candidate_time = other.first_candidate_time + offset_t
+        known = {entry["digest"]: entry for entry in self.corpus_seeds}
+        for entry in other.corpus_seeds:
+            kept = known.get(entry["digest"])
+            if kept is None:
+                known[entry["digest"]] = entry
+                self.corpus_seeds.append(entry)
+            else:
+                # Same input retained by several sessions: one document
+                # survives, carrying the summed scheduling statistics.
+                for field in ("picks", "campaigns", "new_branch",
+                              "new_alias", "inconsistencies"):
+                    kept["stats"][field] += entry["stats"][field]
         self.profile = merge_profiles(self.profile, other.profile)
         self.campaigns += other.campaigns
         self.duration += other.duration
@@ -314,6 +347,7 @@ class RunResult:
             "hangs": len(self.hangs),
             "annotations": self.annotation_count,
             "verdict_upgrades": self.verdict_upgrades,
+            "corpus_seeds": len(self.corpus_seeds),
         }
 
 
@@ -394,7 +428,19 @@ class PMRace:
         # queue compare call-site ids across campaigns.
         from ..instrument.callsite import CallSiteTable
         callsites = CallSiteTable()
-        corpus = [mutator.populate_seed(), mutator.initial_seed()]
+        # Seed-tier corpus: persisted seeds (resume) come first in their
+        # stored retention order; the deterministic populate/initial
+        # seeds are always regenerated (keeping the mutator RNG stream
+        # identical whether or not a resume found them on disk) and
+        # dedup into their loaded twins.
+        corpus = Corpus(schedule=cfg.corpus_schedule,
+                        persist_dir=cfg.corpus_dir,
+                        metrics=self.metrics, tracer=tracer)
+        corpus.load()
+        corpus.add_initial(mutator.populate_seed())
+        corpus.add_initial(mutator.initial_seed())
+        for exported in cfg.initial_corpus or ():
+            corpus.add_exported(exported)
         branch_cov = CoverageSet(self.metrics, "coverage.branch")
         alias_cov = CoverageSet(self.metrics, "coverage.alias")
         profiler = RunProfiler() if cfg.profile else None
@@ -432,10 +478,8 @@ class PMRace:
             return False
 
         while seed_index < cfg.max_seeds and not out_of_budget():
-            seed = corpus[seed_index] if seed_index < len(corpus) \
-                else mutator.evolve(corpus)
-            if seed_index >= len(corpus):
-                corpus.append(seed)
+            corpus_entry, evolved = corpus.next_entry(mutator, seed_index)
+            seed = corpus_entry.seed
             seed_index += 1
             tracer.emit("seed_start", seed_index=seed_index - 1,
                         seed_id=seed.seed_id)
@@ -449,6 +493,10 @@ class PMRace:
                 seed_queue_with_hints(queue, static_hints, callsites)
             seed_skips = skips.setdefault(seed.seed_id, {})
             seed_progress = False
+            seed_campaigns_before = result.campaigns
+            seed_records_before = len(result.inconsistencies) \
+                + len(result.sync_inconsistencies)
+            seed_branch = seed_alias = 0
             rounds = cfg.max_interleavings_per_seed if use_syncpoints else 1
             for round_index in range(rounds + 1):
                 if out_of_budget():
@@ -529,6 +577,8 @@ class PMRace:
                         raise campaign.outcome.error
                     new_branch = branch_cov.merge(campaign.branch_edges)
                     new_alias = alias_cov.merge(campaign.alias_pairs)
+                    seed_branch += new_branch
+                    seed_alias += new_alias
                     result.coverage_timeline.append(
                         (result.campaigns, elapsed, len(branch_cov),
                          len(alias_cov)))
@@ -567,14 +617,26 @@ class PMRace:
             # now, off the campaign hot path (cache makes the work
             # proportional to unique images, not records).
             self._drain_validation(profiler)
+            corpus.account(corpus_entry,
+                           result.campaigns - seed_campaigns_before,
+                           seed_branch, seed_alias,
+                           len(result.inconsistencies)
+                           + len(result.sync_inconsistencies)
+                           - seed_records_before)
             if not cfg.enable_seed_tier:
                 # Seed-tier ablation: loop on the first seed only.
                 seed_index = 0
                 if out_of_budget():
                     break
-            elif not seed_progress and seed_index >= len(corpus):
-                corpus.pop()
+            elif evolved:
+                # Seed tier: keep an evolved seed only while productive.
+                # Settling is restricted to *evolved* entries — the old
+                # list dance also popped the last initial seed when it
+                # yielded no new coverage, silently shrinking the pinned
+                # corpus for the rest of the run.
+                corpus.settle(corpus_entry, seed_progress)
         self._drain_validation(profiler)
+        result.corpus_seeds = corpus.export()
         result.duration = time.monotonic() - start
         if profiler is not None:
             result.profile = profiler.to_dict(result.duration,

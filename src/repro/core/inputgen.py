@@ -92,13 +92,19 @@ class OperationMutator:
         return Seed(threads)
 
     def populate_seed(self, scale=3):
-        """Insert-heavy seed: triggers resizing in PM indexes (§4.5)."""
+        """Insert-heavy seed: triggers resizing in PM indexes (§4.5).
+
+        Value attachment defers to :meth:`~repro.targets.base.
+        OperationSpace.op_needs_value` (the same rule ``random_op``
+        uses), so a target with a custom ``insert_kind`` still gets
+        well-formed population inserts.
+        """
         total = self.n_threads * self.ops_per_thread * scale
         ops = []
         for index in range(total):
             op = {"op": self.space.insert_kind,
                   "key": index % self.space.key_range}
-            if self.space.insert_kind in ("put", "insert", "set"):
+            if self.space.op_needs_value(self.space.insert_kind):
                 op["value"] = self.rng.randrange(self.space.value_range)
             ops.append(op)
         return Seed(_distribute(ops, self.n_threads, self.rng))
@@ -158,9 +164,15 @@ class OperationMutator:
             threads.append(ops)
         return Seed(threads, seed.seed_id)
 
-    def evolve(self, corpus):
-        """One evolution step over a non-empty seed corpus."""
-        seed = self.rng.choice(corpus)
+    def evolve_from(self, seed, corpus):
+        """Evolve ``seed`` with one of the five strategies.
+
+        ``corpus`` supplies merge partners; the partner is drawn from
+        the corpus *excluding* ``seed`` itself whenever another seed
+        exists — a self-merge only produces a near-duplicate (the first
+        half of the seed glued to its own second half) that wastes a
+        whole campaign budget on input the corpus already covers.
+        """
         strategy = self.rng.random()
         if strategy < 0.35:
             return self.mutate(seed)
@@ -170,7 +182,14 @@ class OperationMutator:
             return self.delete(seed)
         if strategy < 0.85:
             return self.shuffle(seed)
-        return self.merge(seed, self.rng.choice(corpus))
+        others = [other for other in corpus if other is not seed]
+        if others:
+            return self.merge(seed, self.rng.choice(others))
+        return self.merge(seed, seed)
+
+    def evolve(self, corpus):
+        """One evolution step over a non-empty seed corpus."""
+        return self.evolve_from(self.rng.choice(corpus), corpus)
 
 
 class AflByteMutator:

@@ -10,9 +10,16 @@ persistent worker pool, with the guarantees a long campaign needs:
   own result objects are never mutated), so partial findings are visible
   to the ``progress`` callback long before the slowest worker finishes.
 * **Fault tolerance** — a worker that raises (or exceeds
-  ``worker_timeout``) does not abort the run: the failure is recorded and
-  the session is retried up to ``max_retries`` times under a fresh seed
-  derived with the stable mixer (:func:`repro.core.seeding.retry_seed`).
+  ``worker_timeout``, measured from the worker's own execution start so
+  queueing behind a busy pool never counts against the budget) does not
+  abort the run: the stuck process is killed to free its slot, the
+  failure is recorded, and the session is retried up to ``max_retries``
+  times under a fresh seed derived with the stable mixer
+  (:func:`repro.core.seeding.retry_seed`).
+* **Corpus sharing** — each worker's retained seed corpus
+  (``RunResult.corpus_seeds``) is folded into the merged result by
+  content digest, and retried sessions start from the merged shared
+  corpus (``PMRaceConfig.initial_corpus``) instead of from scratch.
 * **Isolation** — each worker fuzzes a deep copy of the base config, so a
   caller-supplied mutable member (the :class:`~repro.detect.whitelist.
   Whitelist` in particular) is never shared between sessions, even on the
@@ -26,8 +33,11 @@ factory) so workers can reconstruct them.
 
 import copy
 import multiprocessing
+import os
+import signal
 import time
 import traceback
+from queue import Empty
 
 from ..obs.tracer import NULL_TRACER
 from ..targets.registry import make_target
@@ -36,6 +46,20 @@ from .seeding import retry_seed
 
 #: Seconds between completion polls of in-flight pool jobs.
 _POLL_INTERVAL = 0.02
+
+#: Worker-side start-report queue, installed by the pool initializer.
+#: Workers report ``(worker_id, attempt, pid, monotonic_start)`` the
+#: moment they pick a job up, so the parent can (a) start the timeout
+#: clock at *execution* start rather than submission — a retry queued
+#: behind a stuck process used to inherit that process's queueing delay
+#: and get falsely timed out — and (b) SIGKILL the exact process running
+#: a hung job, freeing its slot for the queued retries.
+_start_queue = None
+
+
+def _pool_worker_init(queue):
+    global _start_queue
+    _start_queue = queue
 
 
 class WorkerStats:
@@ -49,6 +73,8 @@ class WorkerStats:
         status: ``"ok"``, ``"failed"`` or ``"timeout"``.
         campaigns / duration / execs_per_sec: Session statistics
             (zero when the attempt did not produce a result).
+        corpus_seeded: Shared-corpus entries this attempt started from
+            (non-zero only for retries re-seeded from the merged run).
         error: Formatted traceback (or timeout note) for failures.
     """
 
@@ -60,6 +86,7 @@ class WorkerStats:
         self.campaigns = 0
         self.duration = 0.0
         self.execs_per_sec = 0.0
+        self.corpus_seeded = 0
         self.error = None
 
     @property
@@ -87,6 +114,7 @@ class WorkerStats:
             "campaigns": self.campaigns,
             "duration_s": round(self.duration, 3),
             "execs_per_sec": round(self.execs_per_sec, 2),
+            "corpus_seeded": self.corpus_seeded,
             "error": self.error,
         }
 
@@ -96,21 +124,33 @@ class WorkerStats:
 
 
 class _Job:
-    """One scheduled attempt: which worker, which seed, which try."""
+    """One scheduled attempt: which worker, which seed, which try.
 
-    def __init__(self, worker_id, seed, attempt=0):
+    ``started``/``pid`` arrive from the worker's start report; a job
+    that never reported is still queued behind busy pool slots and must
+    not be timed out.  ``shared_corpus`` carries exported corpus entries
+    (``RunResult.corpus_seeds``) a retry starts from.
+    """
+
+    def __init__(self, worker_id, seed, attempt=0, shared_corpus=None):
         self.worker_id = worker_id
         self.seed = seed
         self.attempt = attempt
-        self.submitted = None
+        self.shared_corpus = shared_corpus
+        self.started = None
+        self.pid = None
 
-    def retry(self):
+    @property
+    def key(self):
+        return (self.worker_id, self.attempt)
+
+    def retry(self, shared_corpus=None):
         next_attempt = self.attempt + 1
         return _Job(self.worker_id, retry_seed(self.seed, next_attempt),
-                    next_attempt)
+                    next_attempt, shared_corpus=shared_corpus)
 
 
-def _session_config(config, seed):
+def _session_config(config, seed, shared_corpus=None):
     """A per-worker deep copy of ``config`` with its own base seed.
 
     Deep copy (not ``copy.copy``) so mutable members — the whitelist's
@@ -120,6 +160,8 @@ def _session_config(config, seed):
     """
     cfg = copy.deepcopy(config) if config is not None else PMRaceConfig()
     cfg.base_seed = seed
+    if shared_corpus:
+        cfg.initial_corpus = list(shared_corpus)
     return cfg
 
 
@@ -135,13 +177,19 @@ def _run_worker(payload):
     adopts a duplicate's bundle for any bundle-less kept record, same
     as crash images.
     """
-    worker_id, attempt, factory, config, seed = payload
+    worker_id, attempt, factory, config, seed, shared_corpus = payload
+    if _start_queue is not None:
+        # CLOCK_MONOTONIC is system-wide on Linux, so the parent can
+        # compare this stamp against its own clock directly.
+        _start_queue.put((worker_id, attempt, os.getpid(),
+                          time.monotonic()))
     try:
         if isinstance(factory, str):
             target = make_target(factory)
         else:
             target = factory()
-        result = PMRace(target, _session_config(config, seed)).run()
+        cfg = _session_config(config, seed, shared_corpus)
+        result = PMRace(target, cfg).run()
         return (worker_id, attempt, seed, "ok", result)
     except Exception:
         return (worker_id, attempt, seed, "error",
@@ -211,13 +259,27 @@ class ParallelFuzzService:
 
     def _payload(self, job):
         return (job.worker_id, job.attempt, self.target, self.config,
-                job.seed)
+                job.seed, job.shared_corpus)
+
+    def _reseed(self, job):
+        """Stamp a retry with the merged shared corpus as it stands at
+        *dispatch* time (not when the retry was scheduled), so it picks
+        up everything other workers merged while it waited for a slot."""
+        if job.attempt == 0:
+            return job
+        job.shared_corpus = [dict(entry, stats=dict(entry["stats"]))
+                             for entry in self.merged.corpus_seeds] or None
+        if job.shared_corpus and self.metrics is not None:
+            self.metrics.counter("parallel.corpus_reseeded").inc(
+                len(job.shared_corpus))
+        return job
 
     def _absorb(self, job, outcome):
         """Fold one worker attempt into the merged result; returns the
         retry job if the attempt failed and has retry budget left."""
         worker_id, attempt, seed, status, value = outcome
         stats = WorkerStats(worker_id, seed, attempt)
+        stats.corpus_seeded = len(job.shared_corpus or ())
         merge_seconds = 0.0
         if status == "ok":
             stats.record(value)
@@ -263,41 +325,68 @@ class ParallelFuzzService:
         """
         queue = list(jobs)
         while queue:
-            job = queue.pop(0)
+            job = self._reseed(queue.pop(0))
             retry = self._absorb(job, _run_worker(self._payload(job)))
             if retry is not None:
                 queue.append(retry)
 
+    def _drain_start_reports(self, start_queue, waiting):
+        """Stamp started/pid onto jobs the workers began executing."""
+        while True:
+            try:
+                worker_id, attempt, pid, started = start_queue.get_nowait()
+            except Empty:
+                return
+            job = waiting.get((worker_id, attempt))
+            if job is not None:
+                job.started = started
+                job.pid = pid
+
     def _run_pool(self, jobs):
         processes = self.processes or min(len(jobs),
                                           multiprocessing.cpu_count())
-        pool = multiprocessing.Pool(processes)
+        start_queue = multiprocessing.Queue()
+        pool = multiprocessing.Pool(processes,
+                                    initializer=_pool_worker_init,
+                                    initargs=(start_queue,))
         timed_out = False
         try:
             inflight = {}
+            waiting = {}
             queue = list(jobs)
             while queue or inflight:
                 while queue:
-                    job = queue.pop(0)
-                    job.submitted = time.monotonic()
+                    job = self._reseed(queue.pop(0))
+                    waiting[job.key] = job
                     inflight[pool.apply_async(_run_worker,
                                               (self._payload(job),))] = job
                 time.sleep(_POLL_INTERVAL)
+                self._drain_start_reports(start_queue, waiting)
                 for handle in list(inflight):
                     job = inflight[handle]
                     if handle.ready():
                         del inflight[handle]
+                        waiting.pop(job.key, None)
                         retry = self._absorb(job, handle.get())
                     elif self.worker_timeout is not None and \
-                            time.monotonic() - job.submitted > \
+                            job.started is not None and \
+                            time.monotonic() - job.started > \
                             self.worker_timeout:
-                        # The pool cannot kill one member, so the stuck
-                        # process keeps its slot until the final
-                        # terminate(); the job itself is written off.
-                        # (The clock starts at submission: include any
-                        # queueing delay in the budget.)
+                        # The clock starts at the worker's own start
+                        # report, so a job queued behind a busy slot is
+                        # never charged for its waiting time.  The stuck
+                        # process is killed outright: the pool reaps it
+                        # and respawns a fresh worker, so the slot is
+                        # available to queued retries instead of being
+                        # held hostage until the final terminate().
                         del inflight[handle]
+                        waiting.pop(job.key, None)
                         timed_out = True
+                        if job.pid is not None:
+                            try:
+                                os.kill(job.pid, signal.SIGKILL)
+                            except (OSError, ProcessLookupError):
+                                pass
                         retry = self._absorb(
                             job, (job.worker_id, job.attempt, job.seed,
                                   "timeout", "worker exceeded %.1fs"
@@ -312,6 +401,7 @@ class ParallelFuzzService:
             else:
                 pool.close()
             pool.join()
+            start_queue.close()
 
 
 def fuzz_parallel(target, config=None, seeds=(7, 13, 42, 99),
@@ -328,8 +418,11 @@ def fuzz_parallel(target, config=None, seeds=(7, 13, 42, 99),
         seeds: One engine session per seed.
         processes: Worker pool size (default: ``min(len(seeds), cpus)``).
             ``1`` runs everything in-process (useful under debuggers).
-        worker_timeout: Seconds before an in-flight worker is written
-            off as hung (pool path only; measured from submission).
+        worker_timeout: Seconds a worker may *execute* before it is
+            killed and written off as hung (pool path only; the clock
+            starts at the worker's start report, not at submission, so
+            retries queued behind a stuck process are not falsely timed
+            out while they wait for a slot).
         max_retries: How many times a failed/timed-out session is
             retried under a fresh seed (default 1).
         progress: Optional callable ``progress(stats, merged)`` invoked

@@ -31,6 +31,8 @@ EVENT_TYPES = frozenset({
     "static_hints",      # pmlint pre-seeding: hint count injected per run
     "interleaving",      # interleaving tier: a queue entry becomes sync points
     "campaign",          # one execution finished (coverage deltas attached)
+    "corpus_load",       # seed corpus restored from a --corpus-dir
+    "corpus_seed",       # an evolved seed settled (retained or dropped)
     "candidate",         # new unique inconsistency candidate
     "inconsistency",     # new unique confirmed inconsistency
     "verdict",           # post-failure validation verdict

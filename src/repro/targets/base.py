@@ -82,10 +82,21 @@ class OperationSpace:
             return max(0, near + rng.randint(-2, 2)) % self.key_range
         return rng.randrange(self.key_range)
 
+    def op_needs_value(self, kind):
+        """Whether ``kind`` carries a value parameter.
+
+        The single source of truth for value attachment: random
+        generation, corpus population (:meth:`~repro.core.inputgen.
+        OperationMutator.populate_seed`), and parsing all defer to it,
+        so a target with a custom ``insert_kind`` cannot end up with
+        value-less population ops.
+        """
+        return kind in (self.insert_kind, "update")
+
     def random_op(self, rng, near_key=None):
         kind = rng.choice(self.kinds)
         op = {"op": kind, "key": self.random_key(rng, near_key)}
-        if kind in (self.insert_kind, "update"):
+        if self.op_needs_value(kind):
             op["value"] = rng.randrange(self.value_range)
         return op
 
@@ -123,7 +134,7 @@ class OperationSpace:
         if key < 0:
             return None
         op = {"op": kind, "key": key % self.key_range}
-        if kind in (self.insert_kind, "update"):
+        if self.op_needs_value(kind):
             try:
                 op["value"] = int(parts[2])
             except (IndexError, ValueError):

@@ -31,7 +31,40 @@ class TestSeeds:
         seed = mutator.populate_seed()
         ops = seed.flat_ops()
         assert all(op["op"] == "put" for op in ops)
+        assert all("value" in op for op in ops)
         assert seed.op_count == 4 * 5 * 3
+
+    def test_populate_honors_custom_insert_kind(self):
+        """Regression: populate hardcoded ("put", "insert", "set") for
+        value attachment, so a space with any other ``insert_kind``
+        produced population ops missing their value parameter."""
+
+        class InsertHeavySpace(OperationSpace):
+            kinds = ("store", "get", "delete", "update")
+            insert_kind = "store"
+
+        mutator = OperationMutator(InsertHeavySpace(), n_threads=2,
+                                   ops_per_thread=4, rng=random.Random(1))
+        ops = mutator.populate_seed().flat_ops()
+        assert all(op["op"] == "store" for op in ops)
+        assert all("value" in op for op in ops)
+
+    def test_populate_valueless_insert_kind_stays_bare(self):
+        """A space whose insert op carries no value (the toy target)
+        must not suddenly grow one — that would shift the seeded RNG
+        stream and every pinned golden run with it."""
+
+        class BareSpace(OperationSpace):
+            kinds = ("touch", "get")
+            insert_kind = "touch"
+
+            def op_needs_value(self, kind):
+                return False
+
+        mutator = OperationMutator(BareSpace(), n_threads=2,
+                                   ops_per_thread=4, rng=random.Random(1))
+        assert all("value" not in op
+                   for op in mutator.populate_seed().flat_ops())
 
     def test_seed_ids_unique(self, mutator):
         a = mutator.initial_seed()
@@ -84,6 +117,52 @@ class TestStrategies:
         corpus = [mutator.initial_seed()]
         for _ in range(20):
             assert isinstance(mutator.evolve(corpus), Seed)
+
+    def test_merge_partner_excludes_self(self, mutator):
+        """Regression: the merge strategy drew its partner from the whole
+        corpus, so a seed could merge with *itself* — gluing its first
+        half to its own second half, a near-duplicate that wastes a full
+        campaign budget."""
+        corpus = [mutator.initial_seed(), mutator.initial_seed(),
+                  mutator.initial_seed()]
+
+        class ForceMerge:
+            """Pin the strategy draw into the merge bucket (>= 0.85) and
+            record which partner ``choice`` is offered."""
+
+            def __init__(self):
+                self.offered = None
+                self.rng = random.Random(11)
+
+            def random(self):
+                return 0.9
+
+            def choice(self, items):
+                self.offered = list(items)
+                return items[0]
+
+        forced = ForceMerge()
+        mutator.rng = forced
+        mutator.evolve_from(corpus[1], corpus)
+        assert corpus[1] not in forced.offered
+        assert len(forced.offered) == 2
+
+    def test_merge_single_seed_falls_back_to_self(self, mutator):
+        """With one retained seed there is no partner: self-merge is the
+        only option and must not crash (and must not draw ``choice``)."""
+        only = mutator.initial_seed()
+
+        class ForceMergeNoChoice:
+            def random(self):
+                return 0.9
+
+            def choice(self, items):  # pragma: no cover - must not run
+                raise AssertionError("no partner draw expected")
+
+        mutator.rng = ForceMergeNoChoice()
+        merged = mutator.evolve_from(only, [only])
+        assert isinstance(merged, Seed)
+        assert merged.parent == only.seed_id
 
 
 class TestSerialization:

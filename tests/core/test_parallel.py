@@ -64,6 +64,27 @@ class HangingFactory:
         return ToyTarget()
 
 
+class HangFirstAttemptsFactory:
+    """Hangs the first ``hangs`` constructions, then builds ToyTargets.
+
+    Each hanging call drops a unique marker file first, so the count is
+    visible across pool processes: retries (fresh processes after the
+    stuck ones are killed) see the quota filled and proceed.
+    """
+
+    def __init__(self, marker_dir, hangs=2):
+        self.marker_dir = str(marker_dir)
+        self.hangs = hangs
+
+    def __call__(self):
+        if len(os.listdir(self.marker_dir)) < self.hangs:
+            with open(os.path.join(self.marker_dir,
+                                   "hang-%d" % os.getpid()), "w"):
+                pass
+            time.sleep(60)
+        return ToyTarget()
+
+
 class TestFaultTolerance:
     def test_worker_fault_is_retried_inprocess(self, tmp_path):
         factory = FlakyFactory(tmp_path / "marker")
@@ -115,6 +136,39 @@ class TestFaultTolerance:
         assert result.campaigns == 0
         assert [stats.status for stats in result.worker_stats] == \
             ["timeout"]
+
+    def test_retry_behind_stuck_workers_still_runs(self, tmp_path):
+        """Regression: the timeout clock used to start at *submission*,
+        and the pool never killed a stuck process.  With every slot held
+        by a hung worker, a queued retry aged past the timeout while
+        waiting for a slot and was falsely written off — the run ended
+        with zero campaigns despite retry budget.  Now the clock starts
+        at the worker's own start report and stuck processes are killed,
+        so both retries get a slot and succeed."""
+        factory = HangFirstAttemptsFactory(tmp_path, hangs=2)
+        start = time.monotonic()
+        result = fuzz_parallel(factory, small_config(), seeds=(1, 2),
+                               processes=2, worker_timeout=1.5,
+                               max_retries=1)
+        assert time.monotonic() - start < 60
+        statuses = sorted(stats.status for stats in result.worker_stats)
+        assert statuses == ["ok", "ok", "timeout", "timeout"]
+        assert result.campaigns == 16
+
+    def test_retry_is_reseeded_from_shared_corpus(self, tmp_path):
+        """A retried session starts from the merged shared corpus
+        instead of from scratch (its stats record how many seeds)."""
+        factory = FlakyFactory(tmp_path / "marker")
+        result = fuzz_parallel(factory, small_config(), seeds=(1, 2),
+                               processes=1)
+        retried = [stats for stats in result.worker_stats
+                   if stats.attempt == 1]
+        assert len(retried) == 1
+        # The other worker finished (and merged its corpus) before the
+        # retry was scheduled on the sequential in-process path.
+        assert retried[0].corpus_seeded > 0
+        assert retried[0].corpus_seeded <= len(result.corpus_seeds)
+        assert result.corpus_seeds  # workers' corpora reached the merge
 
     def test_empty_seeds_rejected(self):
         with pytest.raises(ValueError):

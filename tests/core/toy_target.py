@@ -21,6 +21,11 @@ class ToySpace(OperationSpace):
     insert_kind = "bump"
     key_range = 4
 
+    def op_needs_value(self, kind):
+        # Toy ops carry no value parameter (matches random_op below),
+        # which also keeps the pinned golden-run RNG streams value-free.
+        return False
+
     def random_op(self, rng, near_key=None):
         return {"op": rng.choice(self.kinds), "key": 0}
 

@@ -15,7 +15,7 @@ from .conftest import bundled_records, capture_run
 #: Campaign budgets tuned so every target detects at least one record
 #: quickly under seed 7.
 _BUDGET = {name: 25 for name in target_names()}
-_BUDGET["FAST-FAIR"] = 40
+_BUDGET["FAST-FAIR"] = 80
 
 
 @pytest.mark.parametrize("target_name", target_names())
