@@ -1,0 +1,94 @@
+"""Seeded-bug matrix benchmark: detect → validate → replay, all targets.
+
+Renders the full :data:`repro.core.results.SEEDED_BUGS` catalog (the
+paper's Table 2 rows plus the SDK extension targets' bugs 15/16) as a
+matrix: for every catalogued bug, one pinned-seed capture-mode fuzzing
+run must rediscover it, record-backed kinds must convict with the
+``BUG`` verdict through the cached validation service, and one captured
+reproducer bundle must replay back to the same verdict. clevel hashing
+(no seeded bugs) rides along as the clean-target control: its run must
+convict nothing.
+
+Budgets come from :data:`repro.core.bugmatrix.MATRIX_BUDGETS`, shared
+with ``tests/integration/test_bug_matrix.py`` so the benchmark and the
+test suite agree on what "pinned seeds" means.
+
+Runs standalone too: ``python benchmarks/bench_bug_matrix.py``.
+"""
+
+import os
+import sys
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, _ROOT)
+sys.path.insert(0, os.path.join(_ROOT, "src"))  # works without pip install
+
+from repro.core.bugmatrix import (
+    matrix_failures,
+    run_bug_matrix,
+    run_matrix_target,
+)
+from repro.core.results import SEEDED_BUGS, render_table
+from repro.detect import Verdict
+
+from conftest import emit
+
+RESULT_NAME = "bug_matrix"
+
+
+def _cell(value):
+    if value is None:
+        return "-"
+    return "yes" if value else "NO"
+
+
+def build_matrix():
+    rows, results = run_bug_matrix()
+    control = run_matrix_target("clevel hashing",
+                                budget={"seeds": (7,), "max_campaigns": 30})
+    results["clevel hashing (control)"] = control
+    return rows, results, control
+
+
+def render(rows, results, control):
+    display = [{
+        "bug": row["bug"],
+        "system": row["system"],
+        "type": row["type"],
+        "detected": _cell(row["detected"]),
+        "verdict=BUG": _cell(row["verdict_bug"]),
+        "replayed": _cell(row["replayed"]),
+    } for row in rows]
+    text = render_table(
+        display,
+        ["bug", "system", "type", "detected", "verdict=BUG", "replayed"],
+        title="Seeded-bug matrix: detection / validation / replay "
+              "(%d catalogued bugs)" % len(SEEDED_BUGS))
+    failures = matrix_failures(rows)
+    control_bugs = [r for r in list(control.inconsistencies)
+                    + list(control.sync_inconsistencies)
+                    if r.verdict is Verdict.BUG]
+    text += "\n\nmatrix_green: %s (%d/%d rows)" % (
+        "yes" if not failures else "NO",
+        len(rows) - len(failures), len(rows))
+    text += "\nclean_control_bugs: %d (clevel hashing must stay 0)" \
+        % len(control_bugs)
+    text += "\ncampaigns: %s" % {
+        name: result.campaigns for name, result in results.items()}
+    return text, failures, control_bugs
+
+
+def test_bug_matrix(benchmark):
+    rows, results, control = benchmark.pedantic(build_matrix, rounds=1,
+                                                iterations=1)
+    text, failures, control_bugs = render(rows, results, control)
+    emit(RESULT_NAME, text)
+    assert not failures, "matrix rows failed: %s" % failures
+    assert not control_bugs
+
+
+if __name__ == "__main__":
+    rows, results, control = build_matrix()
+    text, failures, control_bugs = render(rows, results, control)
+    emit(RESULT_NAME, text)
+    sys.exit(1 if failures or control_bugs else 0)

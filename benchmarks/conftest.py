@@ -24,6 +24,9 @@ BUDGETS = {
     # memcached has 10 command kinds; longer op sequences are needed to
     # pair producers and consumers on live keys.
     "memcached-pmem": {"max_campaigns": 100, "ops_per_thread": 8},
+    # SDK extension targets (bugs 15/16): small structures, short runs.
+    "pmring": {"max_campaigns": 50},
+    "txkv": {"max_campaigns": 50},
 }
 
 SEEDS = (7, 13, 42)

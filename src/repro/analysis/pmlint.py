@@ -173,7 +173,9 @@ def lint_builtin_targets(whitelist=None, names=None):
     report = LintReport()
     seen_paths = set()
     if names is None:
-        classes = list(registry.TARGET_CLASSES)
+        # Every *registered* class, so dynamically loaded plugin targets
+        # (--target-module) are linted alongside the built-ins.
+        classes = list(registry.registered_classes())
     else:
         classes = [registry.target_class(name) for name in names]
     for cls in classes:

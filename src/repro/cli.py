@@ -5,7 +5,8 @@ all) of them, and emit the detailed JSON reports plus the paper-style
 summary tables.
 
 Commands:
-    targets                     list the Table 1 systems
+    targets                     list the registered targets (--check runs
+                                the contract-conformance suite)
     fuzz <target>               fuzz one target and print its bugs
     fuzz-parallel <target>      fuzz one target with a worker pool (§5)
     validate <target>           fuzz, then post-failure validate separately
@@ -16,7 +17,13 @@ Commands:
     corpus <action> <dir>       inspect (stats) or coverage-minimize a
                                 persisted seed corpus (--corpus-dir)
     lint [files...]             static PM-misuse analysis (pmlint); with
-                                no files, lints the five built-in targets
+                                no files, lints the built-in target modules
+
+Every subcommand accepts ``--target-module pkg.mod`` (repeatable; a
+``path/to/file.py`` also works): the module is imported first and the
+Target subclasses it defines register alongside the built-ins, so
+third-party workloads fuzz, lint, validate, and replay through the same
+commands (see ``docs/TARGET_SDK.md``).
 
 ``fuzz``, ``fuzz-parallel``, ``validate``, and ``tables`` accept
 ``--trace-out FILE`` (typed JSONL event stream) and ``--metrics-out
@@ -52,6 +59,15 @@ from .detect.validation_service import (
 from .detect.whitelist import Whitelist
 from .obs import Metrics, Tracer, render_stats, summarize_path
 from .targets import make_target, table1_rows, target_names
+from .targets.registry import TargetModuleError, load_target_modules
+
+
+def _add_plugin_option(parser):
+    parser.add_argument("--target-module", action="append", metavar="SPEC",
+                        dest="target_modules", default=[],
+                        help="import a plugin module (dotted name or .py "
+                             "path) and register the targets it defines; "
+                             "repeatable")
 
 
 def _add_fuzz_options(parser, parallel_flag=True):
@@ -103,7 +119,9 @@ def _make_config(args):
                                                    None)),
                         corpus_schedule=getattr(args, "corpus_schedule",
                                                 "energy"),
-                        corpus_dir=getattr(args, "corpus_dir", None))
+                        corpus_dir=getattr(args, "corpus_dir", None),
+                        target_modules=tuple(
+                            getattr(args, "target_modules", ()) or ()))
 
 
 def _make_obs(args):
@@ -133,10 +151,21 @@ def _fuzz_one(name, args, tracer=None, metrics=None):
                        tracer=tracer, metrics=metrics)
 
 
-def cmd_targets(_args):
+def cmd_targets(args):
     print(render_table(table1_rows(),
                        ["system", "version", "scope", "concurrency"],
-                       title="Targets (Table 1)"))
+                       title="Targets (Table 1 + registered plugins)"))
+    if getattr(args, "check", False):
+        from .targets.conformance import check_all
+        print()
+        failed = 0
+        for report in check_all():
+            print(report.summary())
+            failed += 0 if report.ok else 1
+        if failed:
+            print("\n%d target(s) failed conformance" % failed,
+                  file=sys.stderr)
+            return 1
     return 0
 
 
@@ -240,7 +269,7 @@ def cmd_validate(args):
     if args.jobs > 1:
         stats = validate_records_parallel(
             args.target, records, whitelist=whitelist, jobs=args.jobs,
-            metrics=metrics)
+            metrics=metrics, target_modules=config.target_modules)
     else:
         validator = PostFailureValidator(
             lambda: make_target(args.target), whitelist,
@@ -457,16 +486,20 @@ def build_parser():
                     "crash-consistency concurrency bugs")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("targets", help="list the systems under test")
+    targets = sub.add_parser("targets", help="list the systems under test")
+    targets.add_argument("--check", action="store_true",
+                         help="run the contract-conformance suite over "
+                              "every registered target (nonzero exit on "
+                              "failure)")
 
     fuzz = sub.add_parser("fuzz", help="fuzz one target")
-    fuzz.add_argument("target", help="Table 1 system name, e.g. P-CLHT")
+    fuzz.add_argument("target", help="registered target name, e.g. P-CLHT")
     _add_fuzz_options(fuzz)
 
     par = sub.add_parser(
         "fuzz-parallel",
         help="fuzz one target with a fault-tolerant worker pool (§5)")
-    par.add_argument("target", help="Table 1 system name, e.g. P-CLHT")
+    par.add_argument("target", help="registered target name, e.g. P-CLHT")
     _add_fuzz_options(par, parallel_flag=False)
     par.add_argument("--processes", type=int, metavar="N", default=0,
                      help="worker pool size (default min(seeds, cpus); "
@@ -482,7 +515,7 @@ def build_parser():
         "validate",
         help="fuzz with validation deferred, then run post-failure "
              "validation as its own observable pass")
-    validate.add_argument("target", help="Table 1 system name")
+    validate.add_argument("target", help="registered target name")
     _add_fuzz_options(validate, parallel_flag=False)
     validate.add_argument("--jobs", type=int, metavar="N", default=1,
                           help="validate with N worker processes, "
@@ -551,8 +584,8 @@ def build_parser():
         "lint",
         help="static PM-misuse analysis (pmlint) over target source")
     lint.add_argument("files", nargs="*",
-                      help="python files to lint (default: the five "
-                           "built-in target modules)")
+                      help="python files to lint (default: every "
+                           "registered target module)")
     lint.add_argument("--json", action="store_true",
                       help="emit the report as JSON instead of text")
     lint.add_argument("--whitelist", metavar="FILE",
@@ -562,11 +595,24 @@ def build_parser():
                       help="do not apply analysis/builtin.whitelist "
                            "(shows the intentional Table 2 bugs)")
 
+    # The plugin boundary: every subcommand resolves targets by name
+    # through the registry, so every subcommand can extend it first.
+    for subparser in sub.choices.values():
+        _add_plugin_option(subparser)
+
     return parser
 
 
 def main(argv=None):
     args = build_parser().parse_args(argv)
+    try:
+        loaded = load_target_modules(getattr(args, "target_modules", ()))
+    except TargetModuleError as exc:
+        print("--target-module: %s" % exc, file=sys.stderr)
+        return 2
+    if loaded:
+        print("registered plugin target(s): %s" % ", ".join(loaded),
+              file=sys.stderr)
     handler = {"targets": cmd_targets, "fuzz": cmd_fuzz,
                "fuzz-parallel": cmd_fuzz_parallel,
                "validate": cmd_validate,

@@ -1,5 +1,13 @@
 """PMRace core: PM-aware coverage-guided fuzzing."""
 
+from .bugmatrix import (
+    MATRIX_BUDGETS,
+    matrix_failures,
+    matrix_targets,
+    run_bug_matrix,
+    run_matrix_target,
+    target_matrix_rows,
+)
 from .campaign import CampaignResult, run_campaign
 from .checkpoints import StateProvider, make_state_provider
 from .coverage import (
@@ -20,6 +28,7 @@ from .priority import AccessProfiler, SharedAccessEntry, SharedAccessQueue
 from .seeding import mix_seeds, policy_seed, retry_seed
 from .results import (
     EXPECTED_BUGS,
+    SEEDED_BUGS,
     ExpectedBug,
     build_table2,
     build_table3,
@@ -62,4 +71,10 @@ __all__ = [
     "SharedAccessEntry",
     "SharedAccessQueue",
     "SyncPointController",
+    "MATRIX_BUDGETS",
+    "matrix_targets",
+    "run_matrix_target",
+    "target_matrix_rows",
+    "run_bug_matrix",
+    "matrix_failures",
 ]

@@ -60,7 +60,7 @@ class PMRaceConfig:
                  eadr=False, profile=True, evict_fraction=0.0,
                  static_hints=False, capture_repro=False,
                  corpus_schedule="energy", corpus_dir=None,
-                 initial_corpus=None):
+                 initial_corpus=None, target_modules=()):
         self.mode = mode
         self.n_threads = n_threads
         self.ops_per_thread = ops_per_thread
@@ -118,6 +118,12 @@ class PMRaceConfig:
         #: adopt before fuzzing — how the parallel service re-seeds a
         #: retried worker from the already-merged shared corpus.
         self.initial_corpus = initial_corpus
+        #: Plugin modules (``--target-module`` specs) to import before
+        #: resolving targets by name. Carried in the config so worker
+        #: *processes* (parallel fuzzing, ``validate --jobs``) can
+        #: re-register dynamically loaded targets in their own
+        #: interpreter before ``make_target`` runs.
+        self.target_modules = tuple(target_modules)
 
 
 def fuzz_target(target, config=None, seeds=(7, 13), tracer=None,

@@ -185,6 +185,12 @@ def _run_worker(payload):
                           time.monotonic()))
     try:
         if isinstance(factory, str):
+            # A dynamically registered target only exists by name after
+            # its plugin module is imported in THIS interpreter.
+            if config is not None and \
+                    getattr(config, "target_modules", ()):
+                from ..targets.registry import load_target_modules
+                load_target_modules(config.target_modules)
             target = make_target(factory)
         else:
             target = factory()

@@ -101,9 +101,24 @@ EXPECTED_BUGS = (
                 "inconsistent index"),
 )
 
+#: The full seeded-bug matrix: the paper's 14 bugs plus the bugs seeded
+#: in the SDK extension targets. ``build_table2`` reports the paper
+#: catalog only; the bug-matrix harness
+#: (``tests/integration/test_bug_matrix.py``) covers this one.
+SEEDED_BUGS = EXPECTED_BUGS + (
+    ExpectedBug(15, "pmring", "inter", True, "pmring.c:201", "pmring.c:258",
+                ("pmring:push", "pmring:pop"),
+                "read unfenced slot publication and log consumed cursor",
+                "lost element"),
+    ExpectedBug(16, "txkv", "inter", True, "txkv.c:144", "txkv.c:210",
+                ("txkv:_bump_gen", "txkv:stat"),
+                "read unflushed out-of-tx generation and log snapshot",
+                "inconsistent metadata"),
+)
+
 
 def expected_bugs_for(target_name):
-    return [bug for bug in EXPECTED_BUGS if bug.target == target_name]
+    return [bug for bug in SEEDED_BUGS if bug.target == target_name]
 
 
 def match_expected(expected, result):

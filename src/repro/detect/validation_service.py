@@ -269,9 +269,14 @@ def _validate_chunk(payload):
     ``(index, verdict value, note)`` tuples — crash images are shipped
     *to* workers but never back.
     """
-    target_name, whitelist_entries, indexed_records = payload
-    from ..targets.registry import make_target
+    target_name, whitelist_entries, indexed_records, target_modules = \
+        payload
+    from ..targets.registry import load_target_modules, make_target
 
+    if target_modules:
+        # Re-register plugin targets in this worker interpreter before
+        # resolving the target by name.
+        load_target_modules(target_modules)
     validator = PostFailureValidator(
         lambda: make_target(target_name), Whitelist(whitelist_entries))
     queue = ValidationQueue(validator)
@@ -285,7 +290,7 @@ def _validate_chunk(payload):
 
 
 def validate_records_parallel(target_name, records, whitelist=None,
-                              jobs=2, metrics=None):
+                              jobs=2, metrics=None, target_modules=()):
     """Validate ``records`` with a pool of ``jobs`` worker processes.
 
     Records are partitioned by crash-image digest (imageless records
@@ -317,7 +322,8 @@ def validate_records_parallel(target_name, records, whitelist=None,
             digest = image_digest(record.crash_image)
             chunk = assignment.setdefault(digest, len(assignment) % jobs)
         chunks[chunk].append((index, record))
-    payloads = [(target_name, entries, chunk) for chunk in chunks if chunk]
+    payloads = [(target_name, entries, chunk, tuple(target_modules))
+                for chunk in chunks if chunk]
     stats = {"validated": 0, "cache_hits": 0, "cache_misses": 0,
              "unique_images": 0, "upgrades": 0, "awaiting_image": 0}
     pool = multiprocessing.Pool(min(jobs, len(payloads)))

@@ -22,6 +22,10 @@ DEFAULT_WHITELIST = (
     "repro.pmdk.tx:tx_alloc",
     # memcached-pmem checksummed value verification
     "repro.targets.memcached:_verify_checksum",
+    # pmring's CAS-validated cursor claims: a stale (non-persisted)
+    # cursor read is re-checked by the CAS itself and recovery
+    # recomputes both cursors from the slot sequence words
+    "repro.targets.pmring:push:",
 )
 
 

@@ -1,0 +1,209 @@
+"""pmring: a lock-free persistent MPMC ring buffer, with a seeded bug.
+
+The first SDK extension target, exercising a bug shape the Table 1
+index structures do not: an *unfenced publication* in a lock-free
+queue. The design follows the common PM ring-buffer recipe (a bounded
+slot array with per-slot sequence numbers, Vyukov-style): producers
+CAS-claim the head cursor, write the payload with non-temporal stores,
+then *publish* by writing the slot's sequence word; consumers observe
+the sequence word, consume the payload, and durably advance the tail.
+
+The pool is mapped with ``pmem_map_file`` (libpmem, no pool-object
+metadata — like memcached-pmem, Figure 10's hard case) and the
+structure is entirely lock-free, so — as with FAST-FAIR — there are no
+persistent synchronization variables to annotate (Table 3's
+``annotation = 0`` rows).
+
+Seeded bug (bug 15 in our extended catalog):
+
+15. **Inter** — ``push`` publishes a slot by *storing* its sequence
+    word and issuing the CLWB, but the SFENCE is missing
+    (``pmring.c:201`` analog): the line sits in the write-back queue
+    until some later fence the producer happens to execute. A
+    concurrent ``pop`` reads the dirty sequence word (``pmring.c:258``)
+    and non-temporally logs it as the durable consumption cursor → if
+    the crash drops the unfenced line, the cursor references an entry
+    the ring never durably published: lost element, inconsistent
+    cursor.
+
+The producer-side claim race (a ``push`` reading the head cursor
+between a peer's CAS and its persist) is the benign counterpart: the
+claim is re-validated by the CAS itself, so those candidates are
+whitelisted (``repro.targets.pmring:push``), mirroring clevel's
+allocator-cursor entry.
+"""
+
+from ..pmdk.pool import pmem_map_file
+from .base import OperationSpace, Target, TargetState
+
+R_HEAD = 0                       # producer claim cursor (persisted per claim)
+R_TAIL = 8                       # consumer cursor (persisted per pop)
+R_CURSOR = 16                    # durable consumed-sequence log (bug target)
+HDR_SIZE = 64
+
+S_SEQ = 0                        # 0 = empty, seq = published
+S_VAL = 8
+SLOT_SIZE = 64                   # one cache line per slot: no false sharing
+NUM_SLOTS = 8
+SLOT_START = HDR_SIZE
+
+CAS_RETRIES = 8
+
+
+class PmRingOperationSpace(OperationSpace):
+    """Queue language: ``push <key> <value>`` / ``pop <key>`` / ``peek``.
+
+    The key parameter is retained (it seeds near-key collision biasing
+    and keeps the textual protocol uniform) but the ring itself is
+    positional; pop/peek ignore it.
+    """
+
+    kinds = ("push", "pop", "peek")
+    insert_kind = "push"
+    key_range = 8
+    value_range = 1 << 16
+
+
+class PmRingInstance:
+    """Per-campaign runtime state of one pmring pool (all state is PM)."""
+
+    def __init__(self, target, state, view, scheduler):
+        self.target = target
+        self.state = state
+        self.view = view
+        self.scheduler = scheduler
+
+    @staticmethod
+    def _slot(seq):
+        return SLOT_START + (int(seq) % NUM_SLOTS) * SLOT_SIZE
+
+    # ------------------------------------------------------------------
+    # producers
+
+    def push(self, value):
+        view = self.view
+        for _retry in range(CAS_RETRIES):
+            # Benign claim race (whitelisted): the head cursor may be a
+            # peer's not-yet-persisted claim; the CAS below re-validates
+            # it, and recovery recomputes the cursor from the slots.
+            head = int(view.load_u64(R_HEAD))
+            tail = int(view.load_u64(R_TAIL))
+            if head - tail >= NUM_SLOTS:
+                return False                     # ring full
+            ok, _old = view.cas_u64(R_HEAD, head, head + 1)
+            if not ok:
+                continue
+            view.persist(R_HEAD, 8)
+            slot = self._slot(head)
+            view.ntstore_u64(slot + S_VAL, value)
+            view.sfence()
+            # Bug 15 write site (pmring.c:201 analog): the publication
+            # store is CLWB'd but never fenced — the sequence word rides
+            # the write-back queue until the producer's next incidental
+            # SFENCE, and a crash in that window drops the publication.
+            view.store_u64(slot + S_SEQ, head + 1)
+            view.clwb(slot + S_SEQ)
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # consumers
+
+    def pop(self):
+        view = self.view
+        for _retry in range(CAS_RETRIES):
+            tail = int(view.load_u64(R_TAIL))
+            slot = self._slot(tail)
+            # Bug 15 read site (pmring.c:258 analog): the sequence word
+            # may be a producer's unfenced publication.
+            seq = view.load_u64(slot + S_SEQ)
+            if int(seq) != tail + 1:
+                return None                      # empty / not yet published
+            ok, _old = view.cas_u64(R_TAIL, tail, tail + 1)
+            if not ok:
+                continue
+            value = view.load_u64(slot + S_VAL)
+            # The durable side effect: the consumed sequence is logged
+            # non-temporally — content derived from the dirty read above.
+            view.ntstore_u64(R_CURSOR, seq)
+            view.ntstore_u64(slot + S_SEQ, 0)
+            view.sfence()
+            view.persist(R_TAIL, 8)
+            return int(value)
+        return None
+
+    def peek(self):
+        """Read the front entry without consuming (no durable flow)."""
+        view = self.view
+        tail = int(view.load_u64(R_TAIL))
+        slot = self._slot(tail)
+        seq = view.load_u64(slot + S_SEQ)
+        if int(seq) != tail + 1:
+            return None
+        return int(view.load_u64(slot + S_VAL))
+
+
+class PmRingTarget(Target):
+    """Extension target: lock-free PM ring buffer (SDK showcase)."""
+
+    NAME = "pmring"
+    VERSION = "sdk-1"
+    SCOPE = "Ring buffer"
+    CONCURRENCY = "Lock-free"
+    POOL_SIZE = HDR_SIZE + NUM_SLOTS * SLOT_SIZE
+    USES_LIBPMEM = True
+
+    def operation_space(self):
+        return PmRingOperationSpace()
+
+    def setup(self):
+        pool = pmem_map_file("pmring", self.POOL_SIZE)
+        pool.memory.persist_all()
+        return TargetState(pool)
+
+    def open(self, state, view, scheduler):
+        return PmRingInstance(self, state, view, scheduler)
+
+    def exec_op(self, instance, view, op):
+        kind = op.get("op")
+        if kind == "push":
+            return instance.push(op.get("value", 0))
+        if kind == "pop":
+            instance.pop()
+            return True
+        if kind == "peek":
+            instance.peek()
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # recovery: recompute the cursors from the slot sequence words. The
+    # consumption log at R_CURSOR is deliberately never reconciled —
+    # the original code trusts it as append-only — which is exactly what
+    # lets post-failure validation convict bug 15.
+
+    def recover(self, pool, view):
+        tail = pool.read_u64(R_TAIL)
+        head = tail
+        # Contiguously published entries survive; the first gap ends the
+        # durable prefix (a torn publication after it is unreachable).
+        for _step in range(NUM_SLOTS):
+            slot = SLOT_START + (head % NUM_SLOTS) * SLOT_SIZE
+            if pool.read_u64(slot + S_SEQ) != head + 1:
+                break
+            head += 1
+        # Scrub every slot outside the live window: half-claimed or
+        # torn-published slots are re-zeroed (their side effects are
+        # overwritten → validated FPs), live ones rewritten verbatim.
+        for index in range(NUM_SLOTS):
+            slot = SLOT_START + index * SLOT_SIZE
+            seq = pool.read_u64(slot + S_SEQ)
+            live = tail < seq <= head and (seq - 1) % NUM_SLOTS == index
+            if not live:
+                view.ntstore_u64(slot + S_SEQ, 0)
+                view.ntstore_u64(slot + S_VAL, 0)
+        view.ntstore_u64(R_HEAD, head)
+        view.ntstore_u64(R_TAIL, tail)
+        view.sfence()
+        self._recovered = (head, tail)
+        return self

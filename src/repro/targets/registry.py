@@ -1,50 +1,236 @@
-"""Target registry: name → factory, plus the Table 1 inventory."""
+"""Target registry: name → class, open to third-party workloads.
 
+The registry is the plugin boundary of the target SDK
+(``docs/TARGET_SDK.md``): the built-in Table 1 systems register here at
+import time through the same :func:`register_target` call any external
+workload uses, and every consumer — the engine, the CLI, pmlint, the
+replay tooling, parallel workers — resolves targets exclusively by
+name through this module. ``--target-module pkg.mod`` (or a
+``path/to/file.py``) on any CLI subcommand funnels into
+:func:`load_target_module`, which imports the module and registers the
+:class:`~repro.targets.base.Target` subclasses it defines.
+
+Registration performs only the cheap static contract checks (a unique
+non-empty ``NAME``, a ``Target`` subclass); the executable contract —
+operation space round-trips, setup/open/exec/recover behavior — is
+checked by :mod:`repro.targets.conformance`, which every built-in
+target passes in CI and plugin authors are expected to run (see the
+conformance section of the SDK cookbook).
+"""
+
+import importlib
+import importlib.util
+import os
+
+from .base import Target
 from .cceh import CcehTarget
 from .clevel import ClevelTarget
 from .fastfair import FastFairTarget
 from .memcached import MemcachedTarget
 from .pclht import PclhtTarget
+from .pmring import PmRingTarget
+from .txkv import TxKvTarget
 
-#: All Table 1 systems in paper order.
-TARGET_CLASSES = (
+
+class TargetRegistryError(Exception):
+    """Base class for registry misuse."""
+
+
+class UnknownTargetError(TargetRegistryError, KeyError):
+    """Lookup of a name no registered target carries.
+
+    Subclasses ``KeyError`` so pre-SDK callers that caught the lookup
+    error keep working.
+    """
+
+    def __str__(self):
+        # KeyError.__str__ repr()s its single argument; keep the
+        # human-readable message intact.
+        return self.args[0] if self.args else KeyError.__str__(self)
+
+
+class DuplicateTargetError(TargetRegistryError):
+    """Two distinct classes registered under one ``NAME``."""
+
+
+class TargetModuleError(TargetRegistryError):
+    """``--target-module`` could not be imported or defined no targets."""
+
+
+#: The five Table 1 systems in paper order, then the two extension
+#: targets added by the SDK (ring buffer and transactional KV store).
+BUILTIN_TARGET_CLASSES = (
     PclhtTarget,
     ClevelTarget,
     CcehTarget,
     FastFairTarget,
     MemcachedTarget,
+    PmRingTarget,
+    TxKvTarget,
 )
 
-_BY_NAME = {cls.NAME: cls for cls in TARGET_CLASSES}
+#: Back-compat alias: pre-SDK callers iterated ``TARGET_CLASSES`` for
+#: "every built-in system". Dynamic consumers should prefer
+#: :func:`registered_classes`.
+TARGET_CLASSES = BUILTIN_TARGET_CLASSES
+
+#: name → class, insertion ordered (built-ins first, plugins after).
+_REGISTRY = {}
+
+#: abspath → module, so re-loading a plugin file is idempotent instead
+#: of minting fresh duplicate classes.
+_LOADED_FILES = {}
+
+
+def register_target(cls, replace=False):
+    """Register a :class:`Target` subclass under its ``NAME``.
+
+    Usable as a decorator (returns ``cls``). Registration is idempotent
+    for the same class object; registering a *different* class under an
+    existing name raises :class:`DuplicateTargetError` unless
+    ``replace=True``.
+    """
+    if not (isinstance(cls, type) and issubclass(cls, Target)):
+        raise TargetRegistryError(
+            "register_target needs a Target subclass, got %r" % (cls,))
+    name = getattr(cls, "NAME", None)
+    if not isinstance(name, str) or not name.strip():
+        raise TargetRegistryError(
+            "%s.NAME must be a non-empty string, got %r"
+            % (cls.__name__, name))
+    if name == Target.NAME:
+        raise TargetRegistryError(
+            "%s must override the default NAME %r"
+            % (cls.__name__, Target.NAME))
+    existing = _REGISTRY.get(name)
+    if existing is not None and existing is not cls and not replace:
+        raise DuplicateTargetError(
+            "target name %r already registered by %s.%s (pass "
+            "replace=True to override)"
+            % (name, existing.__module__, existing.__name__))
+    _REGISTRY[name] = cls
+    return cls
+
+
+def unregister_target(name):
+    """Remove one registered target by name (plugin teardown, tests)."""
+    try:
+        del _REGISTRY[name]
+    except KeyError:
+        raise UnknownTargetError(_unknown_message(name))
+
+
+for _cls in BUILTIN_TARGET_CLASSES:
+    register_target(_cls)
+
+
+def registered_classes():
+    """Every registered target class, registration order."""
+    return tuple(_REGISTRY.values())
 
 
 def target_names():
-    return [cls.NAME for cls in TARGET_CLASSES]
+    return [cls.NAME for cls in _REGISTRY.values()]
+
+
+def _unknown_message(name):
+    return "unknown target %r; known: %s" % (name, ", ".join(target_names()))
 
 
 def target_class(name):
-    """Look up a target class by its Table 1 name (no instantiation —
-    static tooling like pmlint resolves source files from the class)."""
+    """Look up a target class by name (no instantiation — static
+    tooling like pmlint resolves source files from the class)."""
     try:
-        return _BY_NAME[name]
+        return _REGISTRY[name]
     except KeyError:
-        raise KeyError("unknown target %r; known: %s"
-                       % (name, ", ".join(target_names())))
+        raise UnknownTargetError(_unknown_message(name))
 
 
 def make_target(name):
-    """Instantiate a target by its Table 1 name."""
+    """Instantiate a target by its registered name."""
+    return target_class(name)()
+
+
+def _import_module(spec):
+    """Import a plugin module from a dotted name or a ``.py`` path."""
+    if spec.endswith(".py") or os.sep in spec:
+        path = os.path.abspath(spec)
+        cached = _LOADED_FILES.get(path)
+        if cached is not None:
+            return cached
+        if not os.path.exists(path):
+            raise TargetModuleError("no target module file at %s" % spec)
+        module_name = os.path.splitext(os.path.basename(path))[0]
+        loader_spec = importlib.util.spec_from_file_location(module_name,
+                                                             path)
+        if loader_spec is None or loader_spec.loader is None:
+            raise TargetModuleError("cannot load target module %s" % spec)
+        module = importlib.util.module_from_spec(loader_spec)
+        try:
+            loader_spec.loader.exec_module(module)
+        except Exception as exc:
+            raise TargetModuleError(
+                "error importing target module %s: %r" % (spec, exc))
+        _LOADED_FILES[path] = module
+        return module
     try:
-        return _BY_NAME[name]()
-    except KeyError:
-        raise KeyError("unknown target %r; known: %s"
-                       % (name, ", ".join(target_names())))
+        return importlib.import_module(spec)
+    except Exception as exc:
+        raise TargetModuleError(
+            "error importing target module %s: %r" % (spec, exc))
+
+
+def load_target_module(spec):
+    """Import ``spec`` and register the targets it defines.
+
+    ``spec`` is a dotted module name (``myteam.pm_targets``) or a file
+    path (``targets/mystore.py``). The module may register explicitly
+    (``@register_target`` or a module-level ``register_target(cls)``
+    call); any :class:`Target` subclass *defined in the module* that is
+    still unregistered after import is auto-registered, so a plain
+    module of target classes needs no registration boilerplate.
+
+    Returns the list of target names the module contributed (empty on
+    a repeat load of an already-registered module). Raises
+    :class:`TargetModuleError` when the import fails or the module
+    defines no targets at all.
+    """
+    before = set(_REGISTRY)
+    module = _import_module(spec)
+    defined = []
+    for value in vars(module).values():
+        if isinstance(value, type) and issubclass(value, Target) \
+                and value is not Target \
+                and value.__module__ == module.__name__:
+            defined.append(value)
+    for cls in defined:
+        if _REGISTRY.get(cls.NAME) is not cls:
+            register_target(cls)
+    if not defined and not any(cls.__module__ == module.__name__
+                               for cls in _REGISTRY.values()):
+        raise TargetModuleError(
+            "target module %s defines no Target subclasses" % spec)
+    return [name for name, cls in _REGISTRY.items()
+            if name not in before]
+
+
+def load_target_modules(specs):
+    """Load several plugin modules; returns all contributed names."""
+    names = []
+    for spec in specs or ():
+        names.extend(load_target_module(spec))
+    return names
 
 
 def table1_rows():
-    """The static Table 1 inventory (systems, version, scope, concurrency)."""
+    """The target inventory (system, version, scope, concurrency).
+
+    Covers every *registered* target — built-ins in paper order first,
+    then dynamically loaded plugins — so ``repro targets`` /
+    ``repro tables`` show third-party workloads alongside Table 1.
+    """
     return [
         {"system": cls.NAME, "version": cls.VERSION, "scope": cls.SCOPE,
          "concurrency": cls.CONCURRENCY}
-        for cls in TARGET_CLASSES
+        for cls in _REGISTRY.values()
     ]

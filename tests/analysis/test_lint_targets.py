@@ -70,7 +70,8 @@ def test_builtin_targets_do_have_findings_without_whitelist():
     modules = {f.module for f in report.findings}
     assert modules == {"repro.targets.pclht", "repro.targets.clevel",
                        "repro.targets.cceh", "repro.targets.fastfair",
-                       "repro.targets.memcached"}
+                       "repro.targets.memcached", "repro.targets.pmring",
+                       "repro.targets.txkv"}
 
 
 def test_clean_target_has_zero_findings():
@@ -104,7 +105,8 @@ def test_extra_whitelist_entries_compose():
 
 
 @pytest.mark.parametrize("name", ["P-CLHT", "clevel hashing", "CCEH",
-                                  "FAST-FAIR", "memcached-pmem"])
+                                  "FAST-FAIR", "memcached-pmem", "pmring",
+                                  "txkv"])
 def test_each_target_lints_without_crashing(name):
     report = lint_target(target_class(name))
     assert report.to_dict()["counts"] is not None

@@ -46,8 +46,9 @@ class TestCatalog:
 class TestTableBuilders:
     def test_table1_static(self):
         rows = table1_rows()
-        assert len(rows) == 5
+        assert len(rows) == 7
         assert rows[0]["system"] == "P-CLHT"
+        assert [row["system"] for row in rows[-2:]] == ["pmring", "txkv"]
         assert rows[-1]["concurrency"] == "Lock-based"
 
     def test_table2_rows(self, toy_result):

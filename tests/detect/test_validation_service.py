@@ -476,14 +476,14 @@ class TestParallelValidation:
 def _register_mini_target():
     """Expose MiniTarget to the registry under 'mini-vs' so the
     validate-by-name paths (and forked workers) can rebuild it."""
-    from repro.targets import registry
+    from repro.targets import Target, register_target, unregister_target
 
-    class MiniVs(MiniTarget):
+    class MiniVs(MiniTarget, Target):
         NAME = "mini-vs"
 
-    registry._BY_NAME["mini-vs"] = MiniVs
+    register_target(MiniVs, replace=True)
     yield
-    registry._BY_NAME.pop("mini-vs", None)
+    unregister_target("mini-vs")
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,82 @@
+"""The seeded-bug matrix: every catalogued bug detects, convicts, replays.
+
+One capture-mode pinned-seed run per target, then per catalog entry
+(:data:`repro.core.results.SEEDED_BUGS`): the bug is rediscovered, its
+records carry the ``BUG`` verdict from the cached validation service,
+and a captured reproducer bundle replays back to the same verdict.
+
+The SDK extension targets (pmring, txkv — bugs 15/16) run in tier 1;
+the five paper targets re-run the same loop under the ``slow`` marker
+(tier 1 already fuzzes them without capture in
+``test_bug_detection.py``; CI's replay-smoke job runs the full matrix).
+"""
+
+import pytest
+
+from repro.core.bugmatrix import (
+    bug_records,
+    run_matrix_target,
+    target_matrix_rows,
+)
+from repro.core.results import expected_bugs_for
+from repro.detect import Verdict
+
+FAST_TARGETS = ["pmring", "txkv"]
+# clevel hashing seeds no bugs; it runs as the clean-target control in
+# test_clean_target_stays_clean instead of through the per-bug matrix.
+SLOW_TARGETS = ["P-CLHT", "CCEH", "FAST-FAIR", "memcached-pmem"]
+
+_PARAMS = [pytest.param(name, id=name) for name in FAST_TARGETS] + \
+    [pytest.param(name, id=name, marks=pytest.mark.slow)
+     for name in SLOW_TARGETS]
+
+
+@pytest.fixture(scope="module", params=_PARAMS)
+def matrix_run(request):
+    """(target name, capture-mode RunResult) — one run per target."""
+    return request.param, run_matrix_target(request.param)
+
+
+def test_every_seeded_bug_detected(matrix_run):
+    name, result = matrix_run
+    missed = [bug.bug_id for bug in expected_bugs_for(name)
+              if not any(row["detected"] and row["bug"] == bug.bug_id
+                         for row in target_matrix_rows(name, result,
+                                                       replay=False))]
+    assert not missed, "%s: missed seeded bug(s) %s" % (name, missed)
+
+
+def test_record_bugs_convict_as_bug(matrix_run):
+    """Every record-backed catalog entry has a BUG-verdict record."""
+    name, result = matrix_run
+    for expected in expected_bugs_for(name):
+        if expected.kind not in ("inter", "intra", "sync"):
+            continue
+        assert bug_records(result, expected), \
+            "%s: bug %d has no BUG-verdict record" % (name, expected.bug_id)
+
+
+def test_bundles_replay_and_revalidate(matrix_run):
+    """A captured bundle per record-backed bug replays to verdict BUG."""
+    name, result = matrix_run
+    rows = target_matrix_rows(name, result, replay=True)
+    replayable = [row for row in rows if row["replayed"] is not None]
+    assert replayable, "%s: no record-backed bugs in the catalog" % name
+    failed = [row["bug"] for row in replayable if not row["replayed"]]
+    assert not failed, "%s: bundle replay failed for bug(s) %s" \
+        % (name, failed)
+
+
+@pytest.mark.slow
+def test_clean_target_stays_clean():
+    """clevel hashing seeds no bugs: the matrix run convicts nothing.
+
+    (Heavier clevel coverage — whitelisted allocator FPs, Figure 7's
+    validated intra records — lives in ``test_bug_detection.py``.)
+    """
+    result = run_matrix_target("clevel hashing",
+                               budget={"seeds": (7,), "max_campaigns": 30})
+    assert expected_bugs_for("clevel hashing") == []
+    records = list(result.inconsistencies) + \
+        list(result.sync_inconsistencies)
+    assert not [r for r in records if r.verdict is Verdict.BUG]

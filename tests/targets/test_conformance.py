@@ -1,0 +1,114 @@
+"""Contract-conformance checks over all built-in targets + failure paths."""
+
+import pytest
+
+from repro.targets import (
+    BUILTIN_TARGET_CLASSES,
+    Target,
+    TargetState,
+    check_all,
+    check_target,
+)
+from repro.pmdk.pool import pmem_map_file
+
+
+@pytest.mark.parametrize("cls", BUILTIN_TARGET_CLASSES,
+                         ids=[cls.NAME for cls in BUILTIN_TARGET_CLASSES])
+def test_builtin_conforms(cls):
+    report = check_target(cls)
+    assert report.ok, report.summary()
+    assert report.checks_run == ["metadata", "construct", "space", "setup",
+                                 "exec", "recover"]
+
+
+def test_check_all_defaults_to_registry():
+    reports = check_all()
+    assert [r.name for r in reports] == \
+        [cls.NAME for cls in BUILTIN_TARGET_CLASSES]
+    assert all(r.ok for r in reports)
+
+
+class _MinimalTarget(Target):
+    """Smallest conforming target: default space, trivial pool, no-ops."""
+
+    NAME = "conf-minimal"
+    VERSION = "0"
+    SCOPE = "test"
+    CONCURRENCY = "-"
+    POOL_SIZE = 4096
+
+    def setup(self):
+        pool = pmem_map_file("conf-minimal", self.POOL_SIZE)
+        pool.memory.persist_all()
+        return TargetState(pool)
+
+    def open(self, state, view, scheduler):
+        return None
+
+    def exec_op(self, instance, view, op):
+        return None
+
+    def recover(self, pool, view):
+        return self
+
+
+def test_minimal_target_conforms():
+    report = check_target(_MinimalTarget)
+    assert report.ok, report.summary()
+
+
+class TestNonConforming:
+    def test_bad_metadata(self):
+        class BadMeta(_MinimalTarget):
+            NAME = "conf-bad-meta"
+            POOL_SIZE = 0
+
+        report = check_target(BadMeta)
+        assert not report.ok
+        assert any(issue.check == "metadata" for issue in report.issues)
+
+    def test_setup_raises(self):
+        class BadSetup(_MinimalTarget):
+            NAME = "conf-bad-setup"
+
+            def setup(self):
+                raise RuntimeError("no pool for you")
+
+        report = check_target(BadSetup)
+        assert not report.ok
+        assert any(issue.check == "setup" for issue in report.issues)
+        # downstream checks are skipped once setup fails
+        assert "exec" not in report.checks_run
+
+    def test_exec_op_raises(self):
+        class BadExec(_MinimalTarget):
+            NAME = "conf-bad-exec"
+
+            def exec_op(self, instance, view, op):
+                raise ValueError("boom")
+
+        report = check_target(BadExec)
+        assert not report.ok
+        assert any(issue.check == "exec" for issue in report.issues)
+
+    def test_recover_raises(self):
+        class BadRecover(_MinimalTarget):
+            NAME = "conf-bad-recover"
+
+            def recover(self, pool, view):
+                raise RuntimeError("cannot recover")
+
+        report = check_target(BadRecover)
+        assert not report.ok
+        assert any(issue.check == "recover" for issue in report.issues)
+
+    def test_unknown_op_must_be_falsy(self):
+        class ChattyExec(_MinimalTarget):
+            NAME = "conf-chatty-exec"
+
+            def exec_op(self, instance, view, op):
+                return True  # claims success even for unknown kinds
+
+        report = check_target(ChattyExec)
+        assert not report.ok
+        assert any(issue.check == "exec" for issue in report.issues)

@@ -1,0 +1,127 @@
+"""pmring lock-free ring buffer functional and recovery tests."""
+
+import pytest
+
+from repro.targets import PmRingTarget
+from repro.targets.base import TargetState
+from repro.targets.pmring import (
+    NUM_SLOTS,
+    R_CURSOR,
+    R_HEAD,
+    R_TAIL,
+    S_SEQ,
+    SLOT_SIZE,
+    SLOT_START,
+    PmRingInstance,
+)
+
+from .helpers import open_single, recover_from
+
+
+@pytest.fixture
+def ring():
+    _state, _view, instance = open_single(PmRingTarget())
+    return instance
+
+
+class TestFunctional:
+    def test_push_pop_fifo(self, ring):
+        for value in (11, 22, 33):
+            assert ring.push(value)
+        assert ring.pop() == 11
+        assert ring.pop() == 22
+        assert ring.pop() == 33
+
+    def test_pop_empty(self, ring):
+        assert ring.pop() is None
+
+    def test_peek_does_not_consume(self, ring):
+        ring.push(7)
+        assert ring.peek() == 7
+        assert ring.peek() == 7
+        assert ring.pop() == 7
+        assert ring.peek() is None
+
+    def test_full_ring_rejects_push(self, ring):
+        for value in range(NUM_SLOTS):
+            assert ring.push(value + 1)
+        assert not ring.push(99)
+
+    def test_wraparound(self, ring):
+        for round_no in range(3 * NUM_SLOTS):
+            assert ring.push(round_no)
+            assert ring.pop() == round_no
+
+    def test_cursor_logs_consumed_sequence(self, ring):
+        ring.push(5)
+        ring.pop()
+        assert ring.view.pool.read_u64(R_CURSOR) == 1
+
+
+class TestRecovery:
+    def _reopen(self, pool, view, target):
+        state = TargetState(pool)
+        return PmRingInstance(target, state, view, None)
+
+    def test_recovered_ring_usable(self):
+        target = PmRingTarget()
+        state, _view, instance = open_single(target)
+        for value in (4, 5, 6):
+            instance.push(value)
+        state.pool.memory.persist_all()
+        pool, rview, rtarget = recover_from(PmRingTarget, state)
+        assert rtarget._recovered == (3, 0)
+        ring = self._reopen(pool, rview, rtarget)
+        assert ring.pop() == 4
+        assert ring.pop() == 5
+        assert ring.pop() == 6
+        assert ring.pop() is None
+
+    def test_unfenced_publication_lost(self):
+        """Bug 15's consequence: the seq word is CLWB'd but unfenced, so
+        a crash drops the publication and recovery scrubs the slot."""
+        target = PmRingTarget()
+        state, _view, instance = open_single(target)
+        instance.push(42)
+        pool, rview, rtarget = recover_from(PmRingTarget, state)
+        assert rtarget._recovered == (0, 0)
+        slot = SLOT_START
+        assert pool.read_u64(slot + S_SEQ) == 0
+        ring = self._reopen(pool, rview, rtarget)
+        assert ring.pop() is None
+
+    def test_fenced_publication_survives(self):
+        target = PmRingTarget()
+        state, view, instance = open_single(target)
+        instance.push(42)
+        view.sfence()  # the missing fence of bug 15
+        pool, rview, rtarget = recover_from(PmRingTarget, state)
+        assert rtarget._recovered == (1, 0)
+        ring = self._reopen(pool, rview, rtarget)
+        assert ring.pop() == 42
+
+    def test_recovery_never_touches_cursor_log(self):
+        """The consumption log is trusted as append-only — the omission
+        post-failure validation exploits to convict bug 15."""
+        target = PmRingTarget()
+        state, _view, instance = open_single(target)
+        instance.push(1)
+        instance.pop()
+        state.pool.memory.persist_all()
+        pool, _rview, _rtarget = recover_from(PmRingTarget, state)
+        assert pool.read_u64(R_CURSOR) == 1
+
+    def test_recovery_scrubs_stale_slots(self):
+        target = PmRingTarget()
+        state, view, instance = open_single(target)
+        instance.push(9)
+        view.sfence()
+        instance.pop()          # ntstores seq=0, advances tail durably
+        state.pool.memory.persist_all()
+        pool, _rview, rtarget = recover_from(PmRingTarget, state)
+        assert rtarget._recovered == (1, 1)
+        assert pool.read_u64(R_HEAD) == 1
+        assert pool.read_u64(R_TAIL) == 1
+        for index in range(NUM_SLOTS):
+            slot = SLOT_START + index * SLOT_SIZE
+            assert pool.read_u64(slot + S_SEQ) == 0

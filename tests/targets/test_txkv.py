@@ -1,0 +1,148 @@
+"""txkv transactional KV store functional and recovery tests."""
+
+import pytest
+
+from repro.targets import TxKvTarget
+from repro.targets.base import TargetState
+from repro.targets.txkv import (
+    GEN_EPOCH,
+    R_COUNT,
+    R_GEN,
+    R_SNAP_COUNT,
+    R_SNAP_GEN,
+    R_WLOCK,
+    TxKvInstance,
+)
+
+from .helpers import open_single, recover_from
+
+
+@pytest.fixture
+def kv():
+    _state, _view, instance = open_single(TxKvTarget())
+    return instance
+
+
+class TestFunctional:
+    def test_put_get(self, kv):
+        assert kv.put(3, 30)
+        assert kv.get(3) == 30
+
+    def test_get_missing(self, kv):
+        assert kv.get(3) is None
+
+    def test_overwrite(self, kv):
+        kv.put(3, 30)
+        kv.put(3, 31)
+        assert kv.get(3) == 31
+
+    def test_delete(self, kv):
+        kv.put(3, 30)
+        assert kv.delete(3)
+        assert kv.get(3) is None
+
+    def test_delete_missing(self, kv):
+        assert not kv.delete(3)
+
+    def test_count_tracks_live_entries(self, kv):
+        kv.put(1, 10)
+        kv.put(2, 20)
+        kv.put(1, 11)       # overwrite: count unchanged
+        kv.delete(2)
+        assert kv.view.pool.read_u64(kv.root + R_COUNT) == 1
+
+    def test_gen_bumped_per_mutation(self, kv):
+        kv.put(1, 10)
+        kv.put(2, 20)
+        kv.delete(1)
+        assert kv.view.pool.read_u64(kv.root + R_GEN) == 3
+
+    def test_stat_snapshot_is_durable(self, kv):
+        kv.put(1, 10)
+        gen, count = kv.stat()
+        assert (gen, count) == (1, 1)
+        pool = kv.view.pool
+        assert pool.read_persisted_u64(kv.root + R_SNAP_GEN) == 1
+        assert pool.read_persisted_u64(kv.root + R_SNAP_COUNT) == 1
+
+    def test_lock_released_after_ops(self, kv):
+        kv.put(1, 10)
+        kv.delete(1)
+        assert kv.view.load_u64(kv.root + R_WLOCK) == 0
+
+
+class TestRecovery:
+    def _reopen(self, pool, view, target):
+        objpool, root, table = target._recovered
+        state = TargetState(pool, extras={"objpool": objpool, "root": root,
+                                          "table": table})
+        return TxKvInstance(target, state, view, None)
+
+    def test_recovered_store_usable(self):
+        target = TxKvTarget()
+        state, _view, instance = open_single(target)
+        instance.put(1, 10)
+        instance.put(2, 20)
+        state.pool.memory.persist_all()
+        pool, rview, rtarget = recover_from(TxKvTarget, state)
+        kv = self._reopen(pool, rview, rtarget)
+        assert kv.get(1) == 10
+        assert kv.get(2) == 20
+        assert kv.put(3, 30)
+
+    def test_count_rebuilt_from_table(self):
+        target = TxKvTarget()
+        state, _view, instance = open_single(target)
+        instance.put(1, 10)
+        instance.put(2, 20)
+        state.pool.memory.persist_all()
+        pool, _rview, rtarget = recover_from(TxKvTarget, state)
+        _objpool, root, _table = rtarget._recovered
+        assert pool.read_u64(root + R_COUNT) == 2
+
+    def test_unflushed_gen_lost_then_epoch_bumped(self):
+        """Bug 16's consequence: the out-of-tx generation bump is never
+        flushed, so a crash reverts it; recovery epoch-bumps whatever
+        generation actually persisted."""
+        target = TxKvTarget()
+        state, _view, instance = open_single(target)
+        instance.put(1, 10)           # bumps gen to 1 — but never flushed
+        pool, _rview, rtarget = recover_from(TxKvTarget, state)
+        _objpool, root, _table = rtarget._recovered
+        assert pool.read_u64(root + R_GEN) == GEN_EPOCH  # 0 + epoch, not 1
+
+    def test_snapshot_words_trusted_as_is(self):
+        """Recovery never reconciles the stat snapshot — the omission
+        that convicts bug 16 in post-failure validation."""
+        target = TxKvTarget()
+        state, _view, instance = open_single(target)
+        instance.put(1, 10)
+        instance.stat()
+        state.pool.memory.persist_all()
+        pool, _rview, rtarget = recover_from(TxKvTarget, state)
+        _objpool, root, _table = rtarget._recovered
+        assert pool.read_u64(root + R_SNAP_GEN) == 1
+        assert pool.read_u64(root + R_SNAP_COUNT) == 1
+
+    def test_writer_lock_reinitialized(self):
+        """Unlike P-CLHT's bug 2, a leaked writer lock is repaired."""
+        target = TxKvTarget()
+        state, view, instance = open_single(target)
+        instance.put(1, 10)
+        view.store_u64(instance.root + R_WLOCK, 1)  # simulate the leak
+        state.pool.memory.persist_all()
+        pool, rview, rtarget = recover_from(TxKvTarget, state)
+        _objpool, root, _table = rtarget._recovered
+        assert pool.read_u64(root + R_WLOCK) == 0
+        kv = self._reopen(pool, rview, rtarget)
+        assert kv.put(5, 50)          # would deadlock if the lock leaked
+
+    def test_post_recovery_probe_completes(self):
+        target = TxKvTarget()
+        state, _view, instance = open_single(target)
+        instance.put(1, 10)
+        state.pool.memory.persist_all()
+        pool, rview, rtarget = recover_from(TxKvTarget, state)
+        rtarget.post_recovery_probe(pool, rview)
+        kv = self._reopen(pool, rview, rtarget)
+        assert kv.get(0) == 1
