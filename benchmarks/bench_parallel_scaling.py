@@ -9,15 +9,21 @@ host there is no parallelism to exploit, so the scaling assertion is
 replaced by an overhead bound: every pool size must complete the
 identical merged workload within 1.8x of the serial wall clock.
 
+A second measurement pins the cost of durability: the identical workload
+with and without a ``--session-dir`` (per-unit checkpoints, journal,
+corpus mirror).  The crash-safe session layer must cost < 5% throughput.
+
 Runs standalone too: ``python benchmarks/bench_parallel_scaling.py``.
 """
 
 import multiprocessing
+import shutil
+import tempfile
 import time
 
 import pytest
 
-from repro.core import PMRaceConfig, fuzz_parallel
+from repro.core import PMRaceConfig, Session, fuzz_parallel
 from repro.core.results import render_table
 
 from conftest import emit
@@ -26,6 +32,11 @@ TARGET = "P-CLHT"
 CAMPAIGNS_PER_WORKER = 12
 SEEDS = (7, 13, 42, 99)
 POOL_SIZES = (1, 2, 4)
+
+#: Wall-clock repeats for the session-overhead comparison; the best of
+#: each arm is compared, which discards scheduler noise.
+OVERHEAD_REPEATS = 3
+OVERHEAD_BUDGET = 0.05
 
 
 def measure(processes):
@@ -87,10 +98,64 @@ def check_and_emit(rows):
             by_size[1]["_throughput"] / 1.8, rows
 
 
+def _measure_once(session_dir):
+    """Wall clock for the fixed workload, durably or not."""
+    config = PMRaceConfig(max_campaigns=CAMPAIGNS_PER_WORKER, max_seeds=6,
+                          snapshot_images=False, capture_stacks=False,
+                          validate=False)
+    session = None
+    if session_dir is not None:
+        session = Session.open(session_dir, TARGET, "parallel", SEEDS,
+                               config)
+    start = time.monotonic()
+    merged = fuzz_parallel(TARGET, config, seeds=SEEDS, processes=1,
+                           session=session)
+    elapsed = time.monotonic() - start
+    assert merged.campaigns == CAMPAIGNS_PER_WORKER * len(SEEDS)
+    return elapsed
+
+
+def run_session_overhead():
+    """Best-of-N wall clock with and without a session directory."""
+    plain = durable = None
+    for _ in range(OVERHEAD_REPEATS):
+        bare = _measure_once(None)
+        plain = bare if plain is None else min(plain, bare)
+        root = tempfile.mkdtemp(prefix="bench-session-")
+        try:
+            timed = _measure_once(root + "/session")
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+        durable = timed if durable is None else min(durable, timed)
+    return {
+        "no_session_s": "%.3f" % plain,
+        "session_s": "%.3f" % durable,
+        "overhead_pct": "%.2f" % (100.0 * (durable - plain) / plain),
+        "_overhead": (durable - plain) / plain,
+    }
+
+
+def check_and_emit_overhead(row):
+    text = render_table(
+        [row], ["no_session_s", "session_s", "overhead_pct"],
+        title="Session durability overhead (best of %d, %d campaigns, "
+              "budget < %.0f%%)" % (OVERHEAD_REPEATS,
+                                    CAMPAIGNS_PER_WORKER * len(SEEDS),
+                                    100 * OVERHEAD_BUDGET))
+    emit("session_overhead", text)
+    assert row["_overhead"] < OVERHEAD_BUDGET, row
+
+
 def test_parallel_scaling(benchmark):
     rows = benchmark.pedantic(run_scaling, rounds=1, iterations=1)
     check_and_emit(rows)
 
 
+def test_session_overhead(benchmark):
+    row = benchmark.pedantic(run_session_overhead, rounds=1, iterations=1)
+    check_and_emit_overhead(row)
+
+
 if __name__ == "__main__":
     check_and_emit(run_scaling())
+    check_and_emit_overhead(run_session_overhead())

@@ -70,7 +70,7 @@ def _add_plugin_option(parser):
                              "repeatable")
 
 
-def _add_fuzz_options(parser, parallel_flag=True):
+def _add_fuzz_options(parser, parallel_flag=True, session_flag=False):
     parser.add_argument("--campaigns", type=int, default=80,
                         help="campaigns per seed (default 80)")
     parser.add_argument("--seeds", type=int, nargs="+",
@@ -101,6 +101,17 @@ def _add_fuzz_options(parser, parallel_flag=True):
                         default="energy", dest="corpus_schedule",
                         help="seed-tier parent selection: AFL-style "
                              "energy weighting (default) or uniform")
+    if session_flag:
+        parser.add_argument("--session-dir", metavar="DIR",
+                            dest="session_dir",
+                            help="make the run durable: journal + "
+                                 "checkpoint every completed work unit "
+                                 "here so a killed run can continue "
+                                 "(see docs/SESSIONS.md)")
+        parser.add_argument("--resume", action="store_true",
+                            help="continue the session in --session-dir: "
+                                 "skip finished work units, keep retry "
+                                 "budgets, re-validate pending records")
     parser.add_argument("--output", metavar="FILE",
                         help="write the full JSON report here")
     parser.add_argument("--trace-out", metavar="FILE", dest="trace_out",
@@ -139,6 +150,43 @@ def _close_obs(args, tracer, metrics):
     if metrics is not None:
         metrics.dump(args.metrics_out)
         print("metrics written to %s" % args.metrics_out, file=sys.stderr)
+
+
+def _open_session(args, target, kind, config, tracer=None, metrics=None):
+    """(session, error_exit) from --session-dir/--resume; (None, None)
+    when no session was requested."""
+    session_dir = getattr(args, "session_dir", None)
+    if not session_dir:
+        if getattr(args, "resume", False):
+            print("--resume requires --session-dir", file=sys.stderr)
+            return None, 2
+        return None, None
+    from .core.session import Session, SessionError
+    try:
+        session = Session.open(session_dir, target, kind,
+                               tuple(args.seeds), config,
+                               resume=getattr(args, "resume", False),
+                               tracer=tracer, metrics=metrics)
+    except SessionError as exc:
+        print("--session-dir: %s" % exc, file=sys.stderr)
+        return None, 2
+    if session.resumed:
+        print("resuming session in %s (%d unit(s) already done)"
+              % (session_dir, len(session.done_units())),
+              file=sys.stderr)
+    return session, None
+
+
+def _session_exit(result, args):
+    """Exit code for a session run: 128+signum when interrupted (the
+    session is checkpointed and resumable), else None."""
+    interrupted = getattr(result, "interrupted", None)
+    if interrupted is None:
+        return None
+    print("\ninterrupted by signal %d — session checkpointed to %s; "
+          "rerun with --resume to continue"
+          % (interrupted, args.session_dir), file=sys.stderr)
+    return 128 + interrupted
 
 
 def _fuzz_one(name, args, tracer=None, metrics=None):
@@ -213,10 +261,30 @@ def cmd_fuzz(args):
     if not _check_target(args.target):
         return 2
     tracer, metrics = _make_obs(args)
-    result = _fuzz_one(args.target, args, tracer=tracer, metrics=metrics)
+    config = _make_config(args)
+    kind = "parallel" if getattr(args, "parallel", 0) else "serial"
+    session, error = _open_session(args, args.target, kind, config,
+                                   tracer=tracer, metrics=metrics)
+    if error is not None:
+        return error
+    if session is None:
+        result = _fuzz_one(args.target, args, tracer=tracer,
+                           metrics=metrics)
+    elif kind == "parallel":
+        result = fuzz_parallel(args.target, config,
+                               seeds=tuple(args.seeds),
+                               processes=args.parallel, tracer=tracer,
+                               metrics=metrics, session=session)
+    else:
+        from .core.session import run_fuzz_session
+        result, _signum = run_fuzz_session(args.target, config,
+                                           tuple(args.seeds), session,
+                                           tracer=tracer, metrics=metrics)
     _print_findings(result, args)
     _close_obs(args, tracer, metrics)
-    return 0
+    exit_code = _session_exit(result, args) if session is not None \
+        else None
+    return exit_code if exit_code is not None else 0
 
 
 def cmd_fuzz_parallel(args):
@@ -233,18 +301,27 @@ def cmd_fuzz_parallel(args):
                  stats.campaigns, merged.campaigns, note), file=sys.stderr)
 
     tracer, metrics = _make_obs(args)
-    result = fuzz_parallel(args.target, _make_config(args),
+    config = _make_config(args)
+    session, error = _open_session(args, args.target, "parallel", config,
+                                   tracer=tracer, metrics=metrics)
+    if error is not None:
+        return error
+    result = fuzz_parallel(args.target, config,
                            seeds=tuple(args.seeds),
                            processes=args.processes or None,
                            worker_timeout=args.worker_timeout,
                            max_retries=args.max_retries,
                            progress=progress, tracer=tracer,
-                           metrics=metrics)
+                           metrics=metrics, session=session)
     print(render_table(build_worker_table(result),
                        title="Workers (§5 concurrent fuzzing)"))
     print()
     _print_findings(result, args)
     _close_obs(args, tracer, metrics)
+    if session is not None:
+        exit_code = _session_exit(result, args)
+        if exit_code is not None:
+            return exit_code
     failed = [s for s in result.worker_stats if s.status != "ok"]
     exhausted = [s for s in failed if s.attempt >= args.max_retries]
     if exhausted:
@@ -494,13 +571,13 @@ def build_parser():
 
     fuzz = sub.add_parser("fuzz", help="fuzz one target")
     fuzz.add_argument("target", help="registered target name, e.g. P-CLHT")
-    _add_fuzz_options(fuzz)
+    _add_fuzz_options(fuzz, session_flag=True)
 
     par = sub.add_parser(
         "fuzz-parallel",
         help="fuzz one target with a fault-tolerant worker pool (§5)")
     par.add_argument("target", help="registered target name, e.g. P-CLHT")
-    _add_fuzz_options(par, parallel_flag=False)
+    _add_fuzz_options(par, parallel_flag=False, session_flag=True)
     par.add_argument("--processes", type=int, metavar="N", default=0,
                      help="worker pool size (default min(seeds, cpus); "
                           "1 = in-process)")

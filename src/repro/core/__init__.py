@@ -26,6 +26,14 @@ from .inputgen import AflByteMutator, OperationMutator, Seed
 from .parallel import ParallelFuzzService, WorkerStats, fuzz_parallel
 from .priority import AccessProfiler, SharedAccessEntry, SharedAccessQueue
 from .seeding import mix_seeds, policy_seed, retry_seed
+from .session import (
+    FaultInjector,
+    Session,
+    SessionError,
+    SessionInterrupted,
+    result_fingerprint,
+    run_fuzz_session,
+)
 from .results import (
     EXPECTED_BUGS,
     SEEDED_BUGS,
@@ -52,6 +60,12 @@ __all__ = [
     "mix_seeds",
     "policy_seed",
     "retry_seed",
+    "Session",
+    "SessionError",
+    "SessionInterrupted",
+    "FaultInjector",
+    "run_fuzz_session",
+    "result_fingerprint",
     "HangRecord",
     "run_campaign",
     "CampaignResult",

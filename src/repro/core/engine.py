@@ -201,6 +201,9 @@ class RunResult:
         #: PENDING records upgraded during :meth:`merge` by adopting a
         #: dedup-equal duplicate's verdict (cross-session re-validation).
         self.verdict_upgrades = 0
+        #: Signal number when a durable-session run was stopped by
+        #: SIGINT/SIGTERM (None for a run that completed normally).
+        self.interrupted = None
         self._candidate_keys = set()
         # Key → record maps (not plain sets): merge and the PENDING
         # upgrade path both need the surviving record for a dedup key.

@@ -9,23 +9,38 @@ persistent worker pool, with the guarantees a long campaign needs:
   are folded into a *fresh* merged result as they complete (workers'
   own result objects are never mutated), so partial findings are visible
   to the ``progress`` callback long before the slowest worker finishes.
-* **Fault tolerance** — a worker that raises (or exceeds
-  ``worker_timeout``, measured from the worker's own execution start so
-  queueing behind a busy pool never counts against the budget) does not
-  abort the run: the stuck process is killed to free its slot, the
-  failure is recorded, and the session is retried up to ``max_retries``
-  times under a fresh seed derived with the stable mixer
+* **Fault tolerance** — a worker that raises, exceeds ``worker_timeout``
+  (measured from the worker's own execution start so queueing behind a
+  busy pool never counts against the budget), or *dies outright*
+  (SIGKILLed, OOM-killed — detected by supervising the pid it reported
+  at pickup, since ``multiprocessing.Pool`` never completes the result
+  handle of a killed worker) does not abort the run: the failure is
+  recorded and the session is retried up to ``max_retries`` times under
+  a fresh seed derived with the stable mixer
   (:func:`repro.core.seeding.retry_seed`).
+* **Retry backoff** — failed attempts are redispatched after capped
+  exponential backoff with seeded jitter, not immediately; a
+  deterministically-crashing seed no longer burns its whole retry
+  budget in milliseconds.  The clock and sleep are injectable so tests
+  assert the schedule without real waiting.
+* **Supervision** — workers piggyback periodic heartbeats on the
+  start-report queue; the parent stamps the last-seen beat per job and
+  uses the reported pid for liveness checks and targeted kills.
 * **Corpus sharing** — each worker's retained seed corpus
   (``RunResult.corpus_seeds``) is folded into the merged result by
   content digest, and retried sessions start from the merged shared
   corpus (``PMRaceConfig.initial_corpus``) instead of from scratch.
+* **Durability** — pass a :class:`~repro.core.session.Session` and every
+  completed work unit is checkpointed (checkpoint first, journal line
+  second), SIGINT/SIGTERM stop dispatch and write a final checkpoint,
+  and a resumed session skips finished workers and *continues* attempt
+  counts from the journal's retry ledger instead of resetting them.
 * **Isolation** — each worker fuzzes a deep copy of the base config, so a
   caller-supplied mutable member (the :class:`~repro.detect.whitelist.
   Whitelist` in particular) is never shared between sessions, even on the
   ``processes=1`` in-process path.
-* **Accounting** — every attempt (successful, failed, retried) leaves a
-  :class:`WorkerStats` entry on ``merged.worker_stats``.
+* **Accounting** — every attempt (successful, failed, retried, died)
+  leaves a :class:`WorkerStats` entry on ``merged.worker_stats``.
 
 Targets are passed by registry name (or any picklable zero-argument
 factory) so workers can reconstruct them.
@@ -34,7 +49,9 @@ factory) so workers can reconstruct them.
 import copy
 import multiprocessing
 import os
+import random
 import signal
+import threading
 import time
 import traceback
 from queue import Empty
@@ -42,24 +59,45 @@ from queue import Empty
 from ..obs.tracer import NULL_TRACER
 from ..targets.registry import make_target
 from .engine import PMRace, PMRaceConfig, RunResult
-from .seeding import retry_seed
+from .seeding import mix_seeds, retry_seed
+from .session import SessionInterrupted, SignalGuard
 
 #: Seconds between completion polls of in-flight pool jobs.
 _POLL_INTERVAL = 0.02
 
-#: Worker-side start-report queue, installed by the pool initializer.
-#: Workers report ``(worker_id, attempt, pid, monotonic_start)`` the
-#: moment they pick a job up, so the parent can (a) start the timeout
-#: clock at *execution* start rather than submission — a retry queued
-#: behind a stuck process used to inherit that process's queueing delay
-#: and get falsely timed out — and (b) SIGKILL the exact process running
-#: a hung job, freeing its slot for the queued retries.
+#: Default seconds between worker heartbeats on the report queue.
+_HEARTBEAT_INTERVAL = 2.0
+
+#: Salt for the retry-backoff jitter stream (distinct from RETRY_SALT so
+#: backoff draws never correlate with retry seed derivation).
+_BACKOFF_SALT = 0xB0FF
+
+#: Worker-side report queue, installed by the pool initializer.  Workers
+#: send tagged tuples ``(tag, worker_id, attempt, pid, monotonic_stamp)``:
+#: a ``"start"`` report the moment they pick a job up — so the parent can
+#: (a) start the timeout clock at *execution* start rather than
+#: submission and (b) SIGKILL the exact process running a hung job — and
+#: ``"beat"`` heartbeats every few seconds while the job runs, so the
+#: parent knows a silent worker is alive (slow) rather than dead.
 _start_queue = None
 
 
 def _pool_worker_init(queue):
     global _start_queue
     _start_queue = queue
+
+
+def _heartbeat_loop(worker_id, attempt, interval, done):
+    """Worker-side daemon: periodic beats until ``done`` is set."""
+    while not done.wait(interval):
+        queue = _start_queue
+        if queue is None:
+            return
+        try:
+            queue.put(("beat", worker_id, attempt, os.getpid(),
+                       time.monotonic()))
+        except Exception:
+            return
 
 
 class WorkerStats:
@@ -70,12 +108,13 @@ class WorkerStats:
         seed: The base seed this attempt fuzzed with (retries get a
             fresh seed, so it can differ from the original).
         attempt: 0 for the first try, 1.. for retries.
-        status: ``"ok"``, ``"failed"`` or ``"timeout"``.
+        status: ``"ok"``, ``"failed"``, ``"timeout"`` or ``"died"``
+            (the worker process vanished without delivering a result).
         campaigns / duration / execs_per_sec: Session statistics
             (zero when the attempt did not produce a result).
         corpus_seeded: Shared-corpus entries this attempt started from
             (non-zero only for retries re-seeded from the merged run).
-        error: Formatted traceback (or timeout note) for failures.
+        error: Formatted traceback (or timeout/death note) for failures.
     """
 
     def __init__(self, worker_id, seed, attempt=0):
@@ -118,6 +157,18 @@ class WorkerStats:
             "error": self.error,
         }
 
+    @classmethod
+    def from_dict(cls, doc):
+        """Rebuild from :meth:`to_dict` output (session checkpoints)."""
+        stats = cls(doc["worker_id"], doc["seed"], doc.get("attempt", 0))
+        stats.status = doc.get("status", "ok")
+        stats.campaigns = doc.get("campaigns", 0)
+        stats.duration = doc.get("duration_s", 0.0)
+        stats.execs_per_sec = doc.get("execs_per_sec", 0.0)
+        stats.corpus_seeded = doc.get("corpus_seeded", 0)
+        stats.error = doc.get("error")
+        return stats
+
     def __repr__(self):
         return "<WorkerStats #%d seed=%d attempt=%d %s>" % (
             self.worker_id, self.seed, self.attempt, self.status)
@@ -128,7 +179,9 @@ class _Job:
 
     ``started``/``pid`` arrive from the worker's start report; a job
     that never reported is still queued behind busy pool slots and must
-    not be timed out.  ``shared_corpus`` carries exported corpus entries
+    not be timed out.  ``last_beat`` tracks the newest heartbeat.
+    ``not_before`` is the earliest dispatch time (retry backoff);
+    ``shared_corpus`` carries exported corpus entries
     (``RunResult.corpus_seeds``) a retry starts from.
     """
 
@@ -139,6 +192,8 @@ class _Job:
         self.shared_corpus = shared_corpus
         self.started = None
         self.pid = None
+        self.last_beat = None
+        self.not_before = 0.0
 
     @property
     def key(self):
@@ -177,12 +232,20 @@ def _run_worker(payload):
     adopts a duplicate's bundle for any bundle-less kept record, same
     as crash images.
     """
-    worker_id, attempt, factory, config, seed, shared_corpus = payload
+    (worker_id, attempt, factory, config, seed, shared_corpus,
+     heartbeat_interval) = payload
+    beat_done = None
     if _start_queue is not None:
         # CLOCK_MONOTONIC is system-wide on Linux, so the parent can
         # compare this stamp against its own clock directly.
-        _start_queue.put((worker_id, attempt, os.getpid(),
+        _start_queue.put(("start", worker_id, attempt, os.getpid(),
                           time.monotonic()))
+        if heartbeat_interval:
+            beat_done = threading.Event()
+            threading.Thread(
+                target=_heartbeat_loop,
+                args=(worker_id, attempt, heartbeat_interval, beat_done),
+                daemon=True).start()
     try:
         if isinstance(factory, str):
             # A dynamically registered target only exists by name after
@@ -197,9 +260,19 @@ def _run_worker(payload):
         cfg = _session_config(config, seed, shared_corpus)
         result = PMRace(target, cfg).run()
         return (worker_id, attempt, seed, "ok", result)
+    except (SessionInterrupted, KeyboardInterrupt):
+        # On the in-process path the SignalGuard handler raises inside
+        # the engine session; it must reach the service's interrupt
+        # handling, not be recorded as a worker failure and retried.
+        raise
     except Exception:
         return (worker_id, attempt, seed, "error",
                 traceback.format_exc())
+    finally:
+        if beat_done is not None:
+            # Pool workers persist across tasks: stop this job's beats
+            # so a later job on the same process isn't double-reported.
+            beat_done.set()
 
 
 def _target_name(target):
@@ -210,17 +283,38 @@ def _target_name(target):
         target, "__name__", None) or repr(target)
 
 
+def _pid_alive(pid):
+    """Is ``pid`` still running (or a not-yet-reaped zombie)?"""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        pass
+    return True
+
+
 class ParallelFuzzService:
     """Drives N worker sessions and streams their results into one merge.
 
     Normally used through :func:`fuzz_parallel`; instantiating the
     service directly gives access to the merged-so-far result while the
     run is still in flight (via the ``progress`` callback arguments).
+
+    With a ``session`` (:class:`~repro.core.session.Session`), every
+    completed worker is durably checkpointed and journaled, signals
+    produce a final checkpoint instead of lost work, and a resumed
+    session restores the merged result, skips finished workers, and
+    continues each unfinished worker at the attempt the retry ledger
+    recorded.
     """
 
     def __init__(self, target, config=None, seeds=(7, 13, 42, 99),
                  processes=None, worker_timeout=None, max_retries=1,
-                 progress=None, tracer=None, metrics=None):
+                 progress=None, tracer=None, metrics=None, session=None,
+                 retry_backoff=0.5, retry_backoff_cap=30.0,
+                 backoff_rng=None, clock=time.monotonic, sleep=time.sleep,
+                 heartbeat_interval=_HEARTBEAT_INTERVAL):
         if not seeds:
             raise ValueError("fuzz_parallel needs at least one seed")
         self.target = target
@@ -230,6 +324,17 @@ class ParallelFuzzService:
         self.worker_timeout = worker_timeout
         self.max_retries = max_retries
         self.progress = progress
+        self.session = session
+        self.retry_backoff = retry_backoff
+        self.retry_backoff_cap = retry_backoff_cap
+        # Seeded from the run's seeds, so the backoff schedule is
+        # deterministic for a given invocation; tests may inject both
+        # the rng and a fake clock/sleep to pin the exact delays.
+        self.backoff_rng = backoff_rng if backoff_rng is not None else \
+            random.Random(mix_seeds(_BACKOFF_SALT, *self.seeds))
+        self.clock = clock
+        self.sleep = sleep
+        self.heartbeat_interval = heartbeat_interval
         # Observability sinks live in the parent only: workers run in
         # subprocesses, so worker-side events surface here as typed
         # "worker" records and merged profile/metric aggregates.
@@ -241,31 +346,98 @@ class ParallelFuzzService:
         self.merged = RunResult(_target_name(target),
                                 copy.deepcopy(config)
                                 if config is not None else PMRaceConfig())
+        self._units = set()
 
     # ------------------------------------------------------------------
 
+    def _initial_jobs(self):
+        """The dispatch list: all workers on a fresh run; on resume,
+        only unfinished workers, each continuing at the journal ledger's
+        next attempt (so retry budgets survive the crash)."""
+        done, ledger = set(), {}
+        if self.session is not None and self.session.resumed:
+            restored = self.session.load_checkpoint(
+                copy.deepcopy(self.config)
+                if self.config is not None else PMRaceConfig())
+            if restored is not None:
+                self.merged = restored
+            done = self.session.done_units()
+            ledger = self.session.retry_ledger()
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "session_resume", dir=self.session.directory,
+                    skipped_units=len(done & set(
+                        range(len(self.seeds)))),
+                    torn_lines=self.session.journal_torn_lines)
+            if self.metrics is not None:
+                self.metrics.counter("session.resume.skipped").inc(
+                    len(done))
+        self._units = set(done)
+        jobs = []
+        for index, seed in enumerate(self.seeds):
+            if index in done:
+                continue
+            next_attempt, last_seed = ledger.get(index, (0, seed))
+            if next_attempt == 0:
+                jobs.append(_Job(index, seed))
+            elif next_attempt <= self.max_retries:
+                jobs.append(_Job(index,
+                                 retry_seed(last_seed, next_attempt),
+                                 next_attempt))
+            # else: the previous run already exhausted this worker's
+            # retry budget — resuming does not grant a fresh one.
+        return jobs
+
     def run(self):
-        jobs = [_Job(index, seed) for index, seed in enumerate(self.seeds)]
+        jobs = self._initial_jobs()
         self.tracer.emit("run_start",
                          target=_target_name(self.target), parallel=True,
                          seeds=list(self.seeds), processes=self.processes,
-                         max_retries=self.max_retries)
+                         max_retries=self.max_retries,
+                         resumed=bool(self.session is not None
+                                      and self.session.resumed))
         start = time.monotonic()
+        interrupted = None
+        try:
+            if self.session is not None:
+                with SignalGuard():
+                    self._dispatch(jobs)
+            else:
+                self._dispatch(jobs)
+        except SessionInterrupted as exc:
+            interrupted = exc.signum
+        except KeyboardInterrupt:
+            if self.session is None:
+                raise
+            interrupted = signal.SIGINT
+        self.merged._regroup()
+        if self.session is not None:
+            if interrupted is None:
+                whitelist = getattr(self.config, "whitelist", None)
+                self.session.revalidate_pending(self.merged,
+                                                whitelist=whitelist)
+                self.merged._regroup()
+            self.session.write_checkpoint(
+                self.merged, self._units, final=interrupted is None,
+                interrupted=interrupted)
+        self.merged.interrupted = interrupted
+        self.tracer.emit("run_end", target=self.merged.target_name,
+                         duration_s=round(time.monotonic() - start, 6),
+                         interrupted=interrupted,
+                         summary=self.merged.summary())
+        return self.merged
+
+    def _dispatch(self, jobs):
         if self.processes == 1:
             self._run_inprocess(jobs)
         else:
             self._run_pool(jobs)
-        self.merged._regroup()
-        self.tracer.emit("run_end", target=self.merged.target_name,
-                         duration_s=round(time.monotonic() - start, 6),
-                         summary=self.merged.summary())
-        return self.merged
 
     # ------------------------------------------------------------------
 
     def _payload(self, job):
         return (job.worker_id, job.attempt, self.target, self.config,
-                job.seed, job.shared_corpus)
+                job.seed, job.shared_corpus, self.heartbeat_interval)
 
     def _reseed(self, job):
         """Stamp a retry with the merged shared corpus as it stands at
@@ -280,9 +452,33 @@ class ParallelFuzzService:
                 len(job.shared_corpus))
         return job
 
+    def _backoff_delay(self, attempt):
+        """Capped exponential backoff with jitter for retry ``attempt``
+        (1-based): ``base * 2**(attempt-1)`` capped, scaled into
+        ``[0.5, 1.0)`` of itself by the seeded jitter stream."""
+        if self.retry_backoff <= 0:
+            return 0.0
+        delay = min(self.retry_backoff_cap,
+                    self.retry_backoff * (2 ** (attempt - 1)))
+        return delay * (0.5 + 0.5 * self.backoff_rng.random())
+
+    def _checkpoint_unit(self, stats):
+        """Durably commit one finished attempt: checkpoint first (it
+        embeds the unit list), journal line second — a crash between the
+        two double-records nothing, since resume takes the union."""
+        if self.session is None:
+            return
+        if stats.status == "ok":
+            self._units.add(stats.worker_id)
+            self.session.write_checkpoint(self.merged, self._units)
+        self.session.record_unit(stats.worker_id, stats.seed,
+                                 stats.attempt, stats.status,
+                                 stats.campaigns)
+
     def _absorb(self, job, outcome):
         """Fold one worker attempt into the merged result; returns the
-        retry job if the attempt failed and has retry budget left."""
+        retry job (backoff already stamped) if the attempt failed and
+        has retry budget left."""
         worker_id, attempt, seed, status, value = outcome
         stats = WorkerStats(worker_id, seed, attempt)
         stats.corpus_seeded = len(job.shared_corpus or ())
@@ -298,9 +494,10 @@ class ParallelFuzzService:
                 self.metrics.counter("parallel.verdict_upgrades").inc(
                     upgraded)
         else:
-            stats.fail(value, "timeout" if status == "timeout"
+            stats.fail(value, status if status in ("timeout", "died")
                        else "failed")
         self.merged.worker_stats.append(stats)
+        self._checkpoint_unit(stats)
         if self.metrics is not None:
             self.metrics.counter("parallel.attempts").inc()
             self.metrics.counter("parallel.attempts.%s" % stats.status).inc()
@@ -320,33 +517,57 @@ class ParallelFuzzService:
         if self.progress is not None:
             self.progress(stats, self.merged)
         if stats.status != "ok" and attempt < self.max_retries:
-            return job.retry()
+            retry = job.retry()
+            delay = self._backoff_delay(retry.attempt)
+            retry.not_before = self.clock() + delay
+            if self.metrics is not None:
+                self.metrics.histogram("parallel.retry_backoff_s").observe(
+                    delay)
+            return retry
         return None
 
     def _run_inprocess(self, jobs):
         """Sequential fallback (``processes=1``) — debugger friendly.
 
         ``worker_timeout`` is not enforced here: there is no second
-        process to observe a hang from.
+        process to observe a hang from.  Retry backoff is honored by
+        sleeping out the remaining delay before dispatch.
         """
         queue = list(jobs)
         while queue:
-            job = self._reseed(queue.pop(0))
+            job = queue.pop(0)
+            remaining = job.not_before - self.clock()
+            if remaining > 0:
+                self.sleep(remaining)
+            job = self._reseed(job)
             retry = self._absorb(job, _run_worker(self._payload(job)))
             if retry is not None:
                 queue.append(retry)
 
     def _drain_start_reports(self, start_queue, waiting):
-        """Stamp started/pid onto jobs the workers began executing."""
+        """Stamp start/pid and heartbeat times onto in-flight jobs."""
         while True:
             try:
-                worker_id, attempt, pid, started = start_queue.get_nowait()
+                tag, worker_id, attempt, pid, stamp = \
+                    start_queue.get_nowait()
             except Empty:
                 return
             job = waiting.get((worker_id, attempt))
-            if job is not None:
-                job.started = started
+            if job is None:
+                continue
+            if tag == "start":
+                job.started = stamp
                 job.pid = pid
+            job.last_beat = stamp
+            if tag == "beat" and self.metrics is not None:
+                self.metrics.counter("parallel.heartbeats").inc()
+
+    def _kill_job(self, job):
+        if job.pid is not None:
+            try:
+                os.kill(job.pid, signal.SIGKILL)
+            except (OSError, ProcessLookupError):
+                pass
 
     def _run_pool(self, jobs):
         processes = self.processes or min(len(jobs),
@@ -355,18 +576,20 @@ class ParallelFuzzService:
         pool = multiprocessing.Pool(processes,
                                     initializer=_pool_worker_init,
                                     initargs=(start_queue,))
-        timed_out = False
+        abort = False
         try:
             inflight = {}
             waiting = {}
             queue = list(jobs)
             while queue or inflight:
-                while queue:
-                    job = self._reseed(queue.pop(0))
+                now = self.clock()
+                for job in [j for j in queue if j.not_before <= now]:
+                    queue.remove(job)
+                    job = self._reseed(job)
                     waiting[job.key] = job
                     inflight[pool.apply_async(_run_worker,
                                               (self._payload(job),))] = job
-                time.sleep(_POLL_INTERVAL)
+                self.sleep(_POLL_INTERVAL)
                 self._drain_start_reports(start_queue, waiting)
                 for handle in list(inflight):
                     job = inflight[handle]
@@ -387,22 +610,47 @@ class ParallelFuzzService:
                         # held hostage until the final terminate().
                         del inflight[handle]
                         waiting.pop(job.key, None)
-                        timed_out = True
-                        if job.pid is not None:
-                            try:
-                                os.kill(job.pid, signal.SIGKILL)
-                            except (OSError, ProcessLookupError):
-                                pass
+                        abort = True
+                        self._kill_job(job)
                         retry = self._absorb(
                             job, (job.worker_id, job.attempt, job.seed,
                                   "timeout", "worker exceeded %.1fs"
                                   % self.worker_timeout))
+                    elif job.pid is not None and not _pid_alive(job.pid):
+                        # The worker vanished (SIGKILL, OOM): its result
+                        # handle will never become ready, so without this
+                        # check the run would hang forever.  Re-check
+                        # ready() once — the result may have been
+                        # delivered in the instant before death.
+                        if handle.ready():
+                            continue
+                        del inflight[handle]
+                        waiting.pop(job.key, None)
+                        # The lost task's result handle stays incomplete
+                        # in the pool's cache forever, so a graceful
+                        # close()+join() would hang waiting on it: this
+                        # pool can only be terminate()d at the end.
+                        abort = True
+                        if self.metrics is not None:
+                            self.metrics.counter(
+                                "parallel.workers_died").inc()
+                        retry = self._absorb(
+                            job, (job.worker_id, job.attempt, job.seed,
+                                  "died", "worker process %d died "
+                                  "without reporting a result" % job.pid))
                     else:
                         continue
                     if retry is not None:
                         queue.append(retry)
+        except BaseException:
+            # Interrupt or internal error: take the in-flight workers
+            # down with us so terminate() isn't blocked by busy children.
+            abort = True
+            for job in list(inflight.values()):
+                self._kill_job(job)
+            raise
         finally:
-            if timed_out:
+            if abort:
                 pool.terminate()
             else:
                 pool.close()
@@ -412,7 +660,8 @@ class ParallelFuzzService:
 
 def fuzz_parallel(target, config=None, seeds=(7, 13, 42, 99),
                   processes=None, worker_timeout=None, max_retries=1,
-                  progress=None, tracer=None, metrics=None):
+                  progress=None, tracer=None, metrics=None, session=None,
+                  **supervision):
     """Fuzz ``target`` with one worker session per seed; merged result.
 
     Args:
@@ -429,24 +678,35 @@ def fuzz_parallel(target, config=None, seeds=(7, 13, 42, 99),
             starts at the worker's start report, not at submission, so
             retries queued behind a stuck process are not falsely timed
             out while they wait for a slot).
-        max_retries: How many times a failed/timed-out session is
-            retried under a fresh seed (default 1).
+        max_retries: How many times a failed/timed-out/died session is
+            retried under a fresh seed (default 1), after capped
+            exponential backoff with seeded jitter.
         progress: Optional callable ``progress(stats, merged)`` invoked
             after every worker attempt with that attempt's
             :class:`WorkerStats` and the merged-so-far result.
         tracer: Optional :class:`~repro.obs.tracer.Tracer` (parent-side:
             worker lifecycle becomes typed ``worker`` events).
         metrics: Optional :class:`~repro.obs.metrics.Metrics` counting
-            attempts, merged campaigns, and merge/worker durations.
+            attempts, merged campaigns, heartbeats, deaths, backoff
+            delays, and merge/worker durations.
+        session: Optional :class:`~repro.core.session.Session` making the
+            run durable (per-unit checkpoints, graceful signals,
+            ``--resume`` support).
+        **supervision: Passed to :class:`ParallelFuzzService` —
+            ``retry_backoff``, ``retry_backoff_cap``, ``backoff_rng``,
+            ``clock``, ``sleep``, ``heartbeat_interval``.
 
     Returns:
         A fresh merged :class:`~repro.core.engine.RunResult` whose
-        ``worker_stats`` lists every attempt; the per-worker results the
-        workers produced are left unmodified.
+        ``worker_stats`` lists every attempt and whose ``interrupted``
+        attribute carries the signal number when a session run was
+        stopped by SIGINT/SIGTERM (None otherwise); the per-worker
+        results the workers produced are left unmodified.
     """
     return ParallelFuzzService(target, config, seeds=seeds,
                                processes=processes,
                                worker_timeout=worker_timeout,
                                max_retries=max_retries,
                                progress=progress, tracer=tracer,
-                               metrics=metrics).run()
+                               metrics=metrics, session=session,
+                               **supervision).run()

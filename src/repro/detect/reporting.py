@@ -100,6 +100,9 @@ def dump_run_result(result, path):
         "candidates": [record_to_dict(c) for c in result.candidates],
         "workers": [stats.to_dict()
                     for stats in getattr(result, "worker_stats", ())],
+        "corpus_digests": sorted(
+            entry["digest"]
+            for entry in getattr(result, "corpus_seeds", ())),
         "profile": getattr(result, "profile", {}),
     }
     with open(path, "w") as handle:

@@ -12,23 +12,46 @@ import json
 from .tracer import EVENT_TYPES, SCHEMA_VERSION, validate_record
 
 
-def _load_lines(path):
+def _load_lines(path, torn_counter=None):
+    """Yield JSONL records; tolerate a torn *tail* line.
+
+    A file whose final line is half-written is the normal state of a
+    ``--trace-out``/``--metrics-out`` sink after SIGKILL — the process
+    died mid-append.  Such tail lines are counted into ``torn_counter``
+    (a one-element list) and skipped, *provided* at least one record
+    decoded before them; a file that yields nothing but garbage is still
+    an error, not a torn trace.
+    """
+    decoded = 0
+    pending = None  # (number, exc) of a bad line awaiting a successor
     with open(path) as handle:
         for number, line in enumerate(handle, 1):
             line = line.strip()
             if not line:
                 continue
+            if pending is not None:
+                # The bad line has well-formed lines after it: not a
+                # torn tail, genuinely corrupt.
+                raise ValueError("%s:%d: not JSON: %s" % pending)
             try:
                 record = json.loads(line)
             except json.JSONDecodeError as exc:
-                raise ValueError("%s:%d: not JSON: %s" % (path, number, exc))
+                pending = (path, number, exc)
+                continue
+            decoded += 1
             yield record
+    if pending is not None:
+        if not decoded:
+            raise ValueError("%s:%d: not JSON: %s" % pending)
+        if torn_counter is not None:
+            torn_counter[0] += 1
 
 
 def summarize_records(records):
     """Reduce an iterable of trace/metric records to a summary dict."""
     summary = {
         "records": 0,
+        "torn_lines": 0,
         "events_by_type": {},
         "runs": 0,
         "campaigns": 0,
@@ -114,8 +137,16 @@ def summarize_records(records):
 
 
 def summarize_path(path):
-    """Summarize one JSONL file written by the observability layer."""
-    return summarize_records(_load_lines(path))
+    """Summarize one JSONL file written by the observability layer.
+
+    A torn tail line (the file's writer was SIGKILLed mid-append) is
+    skipped and surfaced as ``torn_lines`` in the summary instead of
+    failing the whole summarization.
+    """
+    torn = [0]
+    summary = summarize_records(_load_lines(path, torn_counter=torn))
+    summary["torn_lines"] = torn[0]
+    return summary
 
 
 def _format_metric(name, data):
@@ -130,6 +161,9 @@ def _format_metric(name, data):
 def render_stats(summary):
     """Human-readable report for one summary dict."""
     lines = ["observability stats (%d records)" % summary["records"]]
+    if summary.get("torn_lines"):
+        lines.append("torn tail line(s) skipped: %d (writer was killed "
+                     "mid-append)" % summary["torn_lines"])
     events = summary["events_by_type"]
     if events:
         lines.append("record types: " + ", ".join(

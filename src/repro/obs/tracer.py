@@ -39,6 +39,8 @@ EVENT_TYPES = frozenset({
     "validate_drain",    # deferred validation queue drained (cache stats)
     "validate_upgrade",  # a PENDING record received a duplicate's image
     "worker",            # parallel service absorbed one worker attempt
+    "session_checkpoint",  # durable session: merged checkpoint committed
+    "session_resume",    # durable session: resumed from journal+checkpoint
     "replay_start",      # repro replay: one bundle re-execution begins
     "replay_divergence", # ... the schedule diverged (first mismatch)
     "replay_end",        # ... ends; carries the reproduction verdict

@@ -24,6 +24,7 @@ instead of replaying garbage.
 """
 
 import json
+import os
 
 BUNDLE_VERSION = 1
 
@@ -179,13 +180,26 @@ class ReproBundle:
         try:
             data = json.loads(text)
         except json.JSONDecodeError as exc:
+            # Distinguish a *truncated* document (killed mid-write —
+            # the parser ran off the end of the input) from garbage.
+            if not text.strip() or exc.pos >= len(text.rstrip()):
+                raise BundleError(
+                    "truncated bundle: the file ends mid-document "
+                    "(its writer was probably killed mid-write); "
+                    "re-capture the bundle")
             raise BundleError("bundle is not valid JSON: %s" % exc)
         return cls(data)
 
     def save(self, path):
-        with open(path, "w") as handle:
+        """Atomically write the bundle: tmp + fsync + rename-into-place,
+        so a kill mid-save can never leave a torn bundle at ``path``."""
+        tmp = "%s.tmp.%d" % (path, os.getpid())
+        with open(tmp, "w") as handle:
             handle.write(self.to_json(indent=2))
             handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
         return path
 
     @classmethod

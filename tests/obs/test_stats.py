@@ -116,3 +116,57 @@ class TestEndToEnd:
         assert summary["metrics"]["pm.stores"]["value"] > 0
         assert summary["metrics"]["scheduler.runs"]["value"] > 0
         render_stats(summary)  # must not raise
+
+
+class TestTornTail:
+    """A SIGKILLed writer leaves a half-appended final line; ``repro
+    stats`` must summarize the rest and report the torn tail instead of
+    dying with a JSON error."""
+
+    def make_trace_text(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink)
+        tracer.emit("run_start", target="toy", mode="pmrace")
+        tracer.emit("campaign", index=0, branch_total=5, alias_total=1,
+                    status="ok")
+        tracer.emit("run_end", duration_s=1.0, summary={"campaigns": 1})
+        return sink.getvalue()
+
+    def test_torn_tail_skipped_and_counted(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        text = self.make_trace_text()
+        line = json.dumps({"type": "campaign", "index": 1, "t": 0,
+                           "seq": 9})
+        with open(path, "w") as handle:
+            handle.write(text + line[: len(line) // 2])  # no newline
+        summary = summarize_path(path)
+        assert summary["torn_lines"] == 1
+        assert summary["runs"] == 1
+        assert summary["campaigns"] == 1
+        assert "torn tail line(s) skipped: 1" in render_stats(summary)
+
+    def test_intact_file_reports_zero_torn(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        with open(path, "w") as handle:
+            handle.write(self.make_trace_text())
+        summary = summarize_path(path)
+        assert summary["torn_lines"] == 0
+        assert "torn tail" not in render_stats(summary)
+
+    def test_garbage_only_file_still_errors(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        with open(path, "w") as handle:
+            handle.write("not json\n")
+        with pytest.raises(ValueError, match="not JSON"):
+            summarize_path(path)
+
+    def test_corruption_before_tail_still_errors(self, tmp_path):
+        """Only the *last* line may be torn; garbage with well-formed
+        records after it means real corruption and must be loud."""
+        path = str(tmp_path / "trace.jsonl")
+        lines = self.make_trace_text().splitlines()
+        with open(path, "w") as handle:
+            handle.write(lines[0] + "\nGARBAGE\n" +
+                         "\n".join(lines[1:]) + "\n")
+        with pytest.raises(ValueError, match="not JSON"):
+            summarize_path(path)

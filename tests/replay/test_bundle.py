@@ -97,3 +97,32 @@ def test_bundle_filename_deterministic():
     assert bundle_filename(a) == bundle_filename(b)
     assert bundle_filename(a) != bundle_filename(other)
     assert bundle_filename(a).startswith("memcached-pmem-inter-")
+
+
+def test_save_is_atomic_and_leaves_no_tmp(tmp_path):
+    import os
+    bundle = ReproBundle(minimal_bundle_data())
+    path = str(tmp_path / "b.json")
+    bundle.save(path)
+    bundle.with_updates(verdict="bug").save(path)  # overwrite in place
+    assert ReproBundle.load(path).verdict == "bug"
+    assert not [name for name in os.listdir(str(tmp_path))
+                if ".tmp." in name]
+
+
+def test_truncated_bundle_file_reports_truncation(tmp_path):
+    """A bundle cut off mid-document (pre-atomic-save artifact, or a
+    torn copy) gets the 'truncated' diagnosis, not a raw JSON error."""
+    text = ReproBundle(minimal_bundle_data()).to_json(indent=2)
+    path = str(tmp_path / "torn.json")
+    with open(path, "w") as handle:
+        handle.write(text[: len(text) // 2])
+    with pytest.raises(BundleError, match="truncated bundle"):
+        ReproBundle.load(path)
+
+
+def test_empty_bundle_file_reports_truncation(tmp_path):
+    path = str(tmp_path / "empty.json")
+    open(path, "w").close()
+    with pytest.raises(BundleError, match="truncated bundle"):
+        ReproBundle.load(path)
